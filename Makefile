@@ -1,0 +1,31 @@
+# Convenience targets for the reproduction.
+
+PYTEST ?= python -m pytest
+
+.PHONY: install test bench figures examples clean
+
+install:
+	pip install -e .
+
+test:
+	$(PYTEST) tests/
+
+test-fast:
+	$(PYTEST) tests/ -x -q -m "not slow"
+
+bench:
+	$(PYTEST) benchmarks/ --benchmark-only -s
+
+# Full-fidelity reproduction of every table and figure (hours).
+figures:
+	REPRO_BENCH_APPS=all REPRO_BENCH_CYCLES=20000 \
+	$(PYTEST) benchmarks/ --benchmark-only -s
+
+examples:
+	@for script in examples/*.py; do \
+		echo "== $$script =="; python $$script || exit 1; \
+	done
+
+clean:
+	find . -name __pycache__ -type d -exec rm -rf {} +
+	rm -rf .pytest_cache .hypothesis *.egg-info src/*.egg-info

@@ -1,0 +1,90 @@
+"""Figure 11 — performance sensitivity to interconnect bandwidth.
+
+Progressively narrows both networks toward half bandwidth — fewer
+VCSELs per FSOI lane (with the slotting re-deriving itself), narrower
+mesh links (more flits per packet) — and prints performance relative to
+each network's own full-bandwidth configuration.  The paper's claim:
+both need some over-provisioning, and FSOI is the *less* sensitive one,
+i.e. accepting collisions does not demand drastic margins.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from helpers import bench_apps, bench_cycles, print_table, run_cached
+
+from repro.core.lanes import LaneConfig
+from repro.util.stats import geometric_mean
+
+#: FSOI bandwidth steps: (data, meta) VCSELs; relative = (d+m)/9.
+FSOI_STEPS = [(6, 3), (5, 3), (5, 2), (4, 2), (3, 2), (3, 1)]
+MESH_STEPS = [1.0, 0.9, 0.8, 0.7, 0.6, 0.5]
+
+
+def fsoi_relative_bandwidth(step):
+    data, meta = step
+    return (data + meta) / 9.0
+
+
+def test_fig11_bandwidth_sensitivity(benchmark):
+    apps = bench_apps(limit=4)
+
+    def sweep():
+        fsoi = {}
+        for step in FSOI_STEPS:
+            lanes = LaneConfig(data_vcsels=step[0], meta_vcsels=step[1])
+            fsoi[step] = geometric_mean(
+                run_cached(
+                    app, "fsoi", 16, bench_cycles(), fsoi_lanes=lanes
+                ).ipc
+                for app in apps
+            )
+        mesh = {}
+        for scale in MESH_STEPS:
+            mesh[scale] = geometric_mean(
+                run_cached(
+                    app, "mesh", 16, bench_cycles(), mesh_bandwidth_scale=scale
+                ).ipc
+                for app in apps
+            )
+        return fsoi, mesh
+
+    fsoi, mesh = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    fsoi_full = fsoi[FSOI_STEPS[0]]
+    mesh_full = mesh[1.0]
+    rows = []
+    for step, scale in zip(FSOI_STEPS, MESH_STEPS):
+        rows.append(
+            [
+                f"{100 * fsoi_relative_bandwidth(step):.0f}% / {100 * scale:.0f}%",
+                fsoi[step] / fsoi_full,
+                mesh[scale] / mesh_full,
+            ]
+        )
+    print_table(
+        "Figure 11: relative performance vs relative bandwidth",
+        ["bandwidth (FSOI/mesh)", "FSOI", "mesh"],
+        rows,
+        note="Paper: both degrade noticeably; FSOI shows less sensitivity.",
+    )
+    from repro.util.charts import series
+
+    print()
+    print(
+        series(
+            [100 * fsoi_relative_bandwidth(s) for s in FSOI_STEPS],
+            {
+                "fsoi": [fsoi[s] / fsoi_full for s in FSOI_STEPS],
+                "mesh": [mesh[sc] / mesh_full for sc in MESH_STEPS],
+            },
+            title="Figure 11 (relative performance vs bandwidth %)",
+        )
+    )
+    fsoi_half = fsoi[FSOI_STEPS[-1]] / fsoi_full
+    mesh_half = mesh[0.5] / mesh_full
+    assert fsoi_half < 1.0 and mesh_half < 1.0  # both feel the squeeze
+    assert fsoi_half > 0.6 and mesh_half > 0.5  # no collapse
+    # FSOI is not (much) more sensitive than the mesh.
+    assert fsoi_half > mesh_half - 0.08

@@ -1,0 +1,105 @@
+"""Figure 6 — the 16-node system.
+
+(a) per-application FSOI packet latency broken into queuing /
+scheduling / network / collision-resolution, against the mesh total;
+(b) speedups of FSOI and the idealized L0/Lr1/Lr2 over the mesh
+baseline, with geometric means next to the paper's (FSOI 1.36,
+L0 1.43, Lr1 1.32, Lr2 1.22).
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from helpers import bench_apps, bench_cycles, print_table, run_cached
+
+from repro.util.stats import geometric_mean
+
+NETWORKS = ["mesh", "fsoi", "l0", "lr1", "lr2"]
+PAPER_GMEANS = {"fsoi": 1.36, "l0": 1.43, "lr1": 1.32, "lr2": 1.22}
+
+
+def run_all():
+    apps = bench_apps()
+    return {
+        (app, net): run_cached(app, net, 16, bench_cycles())
+        for app in apps
+        for net in NETWORKS
+    }
+
+
+def test_fig6_16node_latency_and_speedup(benchmark):
+    runs = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    apps = bench_apps()
+
+    latency_rows = []
+    for app in apps:
+        fsoi = runs[(app, "fsoi")].latency_breakdown
+        mesh = runs[(app, "mesh")].latency_breakdown
+        latency_rows.append(
+            [
+                app,
+                fsoi["queuing"],
+                fsoi["scheduling"],
+                fsoi["network"],
+                fsoi["collision_resolution"],
+                fsoi["total"],
+                mesh["total"],
+            ]
+        )
+    average = [sum(r[i] for r in latency_rows) / len(latency_rows) for i in range(1, 7)]
+    latency_rows.append(["avg"] + average)
+    print_table(
+        "Figure 6a: packet latency, 16 nodes (cycles)",
+        ["app", "queuing", "sched", "network", "coll.res", "FSOI total", "mesh total"],
+        latency_rows,
+        note="Paper: FSOI total ~7.5 cycles; mesh far higher.",
+    )
+
+    speedup_rows = []
+    gmeans = {}
+    for net in ("fsoi", "l0", "lr1", "lr2"):
+        speedups = {
+            app: runs[(app, net)].ipc / runs[(app, "mesh")].ipc for app in apps
+        }
+        gmeans[net] = geometric_mean(speedups.values())
+    for app in apps:
+        speedup_rows.append(
+            [app]
+            + [runs[(app, net)].ipc / runs[(app, "mesh")].ipc for net in
+               ("fsoi", "l0", "lr1", "lr2")]
+        )
+    speedup_rows.append(
+        ["gmean"] + [gmeans[net] for net in ("fsoi", "l0", "lr1", "lr2")]
+    )
+    speedup_rows.append(
+        ["paper"] + [PAPER_GMEANS[net] for net in ("fsoi", "l0", "lr1", "lr2")]
+    )
+    print_table(
+        "Figure 6b: speedup over mesh baseline, 16 nodes",
+        ["app", "FSOI", "L0", "Lr1", "Lr2"],
+        speedup_rows,
+    )
+    from repro.util.charts import grouped_bars
+
+    print()
+    print(
+        grouped_bars(
+            {
+                app: {
+                    net: runs[(app, net)].ipc / runs[(app, "mesh")].ipc
+                    for net in ("fsoi", "l0", "lr1", "lr2")
+                }
+                for app in apps
+            },
+            title="Figure 6b (bars)",
+        )
+    )
+
+    fsoi_avg_total = average[4]
+    assert 4.0 < fsoi_avg_total < 12.0          # paper: 7.5
+    assert average[5] > 2.5 * fsoi_avg_total    # mesh much slower
+    # Ordering and rough magnitudes of the geometric means.
+    assert gmeans["l0"] >= gmeans["fsoi"] > gmeans["lr1"] > gmeans["lr2"] > 1.0
+    assert 1.1 < gmeans["fsoi"] < 1.7

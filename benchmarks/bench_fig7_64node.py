@@ -1,0 +1,98 @@
+"""Figure 7 — the 64-node system (phase-array FSOI).
+
+Latency breakdown and speedups at 64 nodes: the mesh's latency grows
+with the network diameter while FSOI stays flat (modulo queuing), so
+the performance gap widens (paper gmeans: FSOI 1.75, L0 1.91, Lr1 1.55,
+Lr2 1.29).  Also reproduces §7.1's corona-style comparison (~1.06x).
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from helpers import bench_apps, bench_cycles, print_table, run_cached
+
+from repro.util.stats import geometric_mean
+
+PAPER_GMEANS = {"fsoi": 1.75, "l0": 1.91, "lr1": 1.55, "lr2": 1.29}
+
+
+def test_fig7_64node(benchmark):
+    apps = bench_apps(limit=5)
+    networks = ["mesh", "fsoi", "l0", "lr1", "lr2"]
+
+    def run_all():
+        return {
+            (app, net): run_cached(app, net, 64, bench_cycles())
+            for app in apps
+            for net in networks
+        }
+
+    runs = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = []
+    for app in apps:
+        fsoi = runs[(app, "fsoi")].latency_breakdown
+        mesh = runs[(app, "mesh")].latency_breakdown
+        rows.append(
+            [app, fsoi["queuing"], fsoi["network"],
+             fsoi["collision_resolution"], fsoi["total"], mesh["total"]]
+        )
+    print_table(
+        "Figure 7a: packet latency, 64 nodes (cycles)",
+        ["app", "queuing", "network", "coll.res", "FSOI total", "mesh total"],
+        rows,
+        note="Paper: FSOI 12.6 cycles (queuing 4.1); mesh grows sharply.",
+    )
+
+    gmeans = {}
+    speedup_rows = []
+    for net in ("fsoi", "l0", "lr1", "lr2"):
+        gmeans[net] = geometric_mean(
+            runs[(app, net)].ipc / runs[(app, "mesh")].ipc for app in apps
+        )
+    for app in apps:
+        speedup_rows.append(
+            [app]
+            + [runs[(app, net)].ipc / runs[(app, "mesh")].ipc
+               for net in ("fsoi", "l0", "lr1", "lr2")]
+        )
+    speedup_rows.append(["gmean"] + [gmeans[n] for n in ("fsoi", "l0", "lr1", "lr2")])
+    speedup_rows.append(["paper"] + [PAPER_GMEANS[n] for n in ("fsoi", "l0", "lr1", "lr2")])
+    print_table(
+        "Figure 7b: speedup over mesh baseline, 64 nodes",
+        ["app", "FSOI", "L0", "Lr1", "Lr2"],
+        speedup_rows,
+    )
+
+    fsoi_totals = [runs[(app, "fsoi")].latency_breakdown["total"] for app in apps]
+    mesh_totals = [runs[(app, "mesh")].latency_breakdown["total"] for app in apps]
+    assert max(fsoi_totals) < 20          # FSOI stays low as N grows
+    assert min(mesh_totals) > 25          # mesh latency has blown up
+    assert gmeans["l0"] >= gmeans["fsoi"] > gmeans["lr1"] > gmeans["lr2"]
+    assert gmeans["fsoi"] > 1.4           # wider gap than at 16 nodes
+
+
+def test_fig7_corona_comparison(benchmark):
+    apps = bench_apps(limit=3)
+
+    def run_pair():
+        return {
+            (app, net): run_cached(app, net, 64, bench_cycles())
+            for app in apps
+            for net in ("fsoi", "corona")
+        }
+
+    runs = benchmark.pedantic(run_pair, rounds=1, iterations=1)
+    ratios = [
+        runs[(app, "fsoi")].ipc / runs[(app, "corona")].ipc for app in apps
+    ]
+    mean_ratio = geometric_mean(ratios)
+    print_table(
+        "§7.1: FSOI vs corona-style design, 64 nodes",
+        ["app", "FSOI/corona speedup"],
+        [[app, ratio] for app, ratio in zip(apps, ratios)]
+        + [["gmean", mean_ratio], ["paper", 1.06]],
+    )
+    assert 0.98 < mean_ratio < 1.25

@@ -1,0 +1,91 @@
+"""Figure 8 — energy relative to the mesh baseline.
+
+Per application: total energy of the FSOI system normalized to the mesh
+baseline for the same work, split into network / core+cache / leakage,
+plus average power (paper: 156 W -> 121 W) and energy-delay product
+(paper: 2.7x better at 16 nodes, 4.4x at 64).
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from helpers import bench_apps, bench_cycles, print_table, run_cached
+
+from repro.power import SystemPowerModel
+from repro.util.stats import geometric_mean
+
+MODEL = SystemPowerModel()
+
+
+def test_fig8_energy_16node(benchmark):
+    apps = bench_apps()
+
+    def collect():
+        rows = []
+        for app in apps:
+            mesh = MODEL.report(run_cached(app, "mesh", 16, bench_cycles()))
+            fsoi = MODEL.report(run_cached(app, "fsoi", 16, bench_cycles()))
+            rel = fsoi.relative_to(mesh)
+            rows.append(
+                {
+                    "app": app,
+                    "rel": rel,
+                    "mesh_power": mesh.average_power,
+                    "fsoi_power": fsoi.average_power,
+                    "edp_gain": mesh.energy_delay_product()
+                    / fsoi.energy_delay_product(),
+                    "net_ratio": (
+                        mesh.network_energy
+                        / (fsoi.network_energy * mesh.instructions / fsoi.instructions)
+                    ),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(collect, rounds=1, iterations=1)
+    table = [
+        [r["app"], r["rel"]["network"], r["rel"]["core_cache"],
+         r["rel"]["leakage"], r["rel"]["total"],
+         r["mesh_power"], r["fsoi_power"], r["edp_gain"], r["net_ratio"]]
+        for r in rows
+    ]
+    mean_saving = 1 - sum(r["rel"]["total"] for r in rows) / len(rows)
+    gmean_edp = geometric_mean(r["edp_gain"] for r in rows)
+    mean_mesh_p = sum(r["mesh_power"] for r in rows) / len(rows)
+    mean_fsoi_p = sum(r["fsoi_power"] for r in rows) / len(rows)
+    print_table(
+        "Figure 8: FSOI energy relative to mesh baseline, 16 nodes",
+        ["app", "network", "core+cache", "leakage", "total",
+         "mesh W", "FSOI W", "EDP gain", "net ratio"],
+        table,
+        note=(
+            f"avg energy saving {100 * mean_saving:.1f}% (paper 40.6%); "
+            f"power {mean_mesh_p:.0f} W -> {mean_fsoi_p:.0f} W "
+            "(paper 156 -> 121); "
+            f"EDP gmean {gmean_edp:.2f}x (paper 2.7x)"
+        ),
+    )
+    assert 0.15 < mean_saving < 0.55
+    assert mean_fsoi_p < mean_mesh_p
+    assert gmean_edp > 1.5
+    assert all(r["net_ratio"] > 10 for r in rows)  # the ~20x network gap
+
+
+def test_fig8_edp_64node(benchmark):
+    apps = bench_apps(limit=4)
+
+    def collect():
+        gains = []
+        for app in apps:
+            mesh = MODEL.report(run_cached(app, "mesh", 64, bench_cycles()))
+            fsoi = MODEL.report(run_cached(app, "fsoi", 64, bench_cycles()))
+            gains.append(
+                mesh.energy_delay_product() / fsoi.energy_delay_product()
+            )
+        return geometric_mean(gains)
+
+    gain = benchmark.pedantic(collect, rounds=1, iterations=1)
+    print(f"\n64-node EDP improvement: {gain:.2f}x (paper: 4.4x)")
+    assert gain > 2.0

@@ -1,0 +1,61 @@
+"""§2 (extension) — the waveguided-WDM scaling argument, quantified.
+
+Not a paper figure: §2 argues in prose that shared-waveguide WDM
+interconnects hit compounding physical costs (per-ring insertion loss,
+thermal tuning, crossings) that free-space optics side-steps.  This
+bench turns the section into a table: per node count, the worst-case
+loss, the largest wavelength count whose link still closes, the
+resulting aggregate bandwidth, and the static tuning power — against
+FSOI's constant 2.6 dB per hop and zero resonant devices.
+"""
+
+import sys
+from dataclasses import replace
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from helpers import print_table
+
+from repro.core.link import OpticalLink
+from repro.wdm import WdmBusDesign
+
+NODE_COUNTS = [4, 8, 16, 32, 64]
+
+
+def test_sec2_wdm_scaling(benchmark):
+    def sweep():
+        rows = []
+        for n in NODE_COUNTS:
+            design = WdmBusDesign(num_nodes=n, wavelengths=16)
+            usable = design.max_wavelengths()
+            best = replace(design, wavelengths=max(1, usable))
+            rows.append(
+                [
+                    n,
+                    design.worst_case_loss_db(),
+                    usable,
+                    best.aggregate_bandwidth() / 1e9 if usable else 0.0,
+                    design.tuning_power(),
+                    design.total_rings,
+                ]
+            )
+        return rows
+
+    rows = benchmark(sweep)
+    fsoi_loss = OpticalLink().path.loss_db()
+    print_table(
+        "§2: shared-bus WDM vs node count (16-wavelength design point)",
+        ["N", "worst loss (dB)", "max usable λ", "agg BW (Gbps)",
+         "tuning (W)", "rings"],
+        rows,
+        note=(
+            f"FSOI contrast: every hop costs a constant {fsoi_loss:.1f} dB, "
+            "zero resonant devices, zero tuning power; per-node laser "
+            "count is constant under the phase array."
+        ),
+    )
+    usable = [row[2] for row in rows]
+    assert usable == sorted(usable, reverse=True)
+    assert usable[-1] <= 2  # the 64-node shared bus has collapsed
+    assert all(row[1] > fsoi_loss for row in rows)

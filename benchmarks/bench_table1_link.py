@@ -1,0 +1,110 @@
+"""Table 1 — optical link parameters.
+
+Regenerates every row of Table 1 from the device/optics models and
+prints it next to the paper's value.  The benchmark measures the full
+link-budget evaluation (per-call cost of the photonics stack).
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from helpers import print_table
+
+from repro.core.link import OpticalLink
+
+#: (our key, paper label, paper value) for each Table 1 row we model.
+PAPER_ROWS = [
+    ("transmission_distance_cm", "Trans. distance (cm)", 2.0),
+    ("optical_wavelength_nm", "Optical wavelength (nm)", 980.0),
+    ("optical_path_loss_db", "Optical path loss (dB)", 2.6),
+    ("tx_microlens_aperture_um", "Microlens aperture @tx (um)", 90.0),
+    ("rx_microlens_aperture_um", "Microlens aperture @rx (um)", 190.0),
+    ("vcsel_aperture_um", "VCSEL aperture (um)", 5.0),
+    ("vcsel_threshold_ma", "VCSEL threshold (mA)", 0.14),
+    ("vcsel_parasitic_ohm", "VCSEL parasitic (Ohm)", 235.0),
+    ("vcsel_parasitic_ff", "VCSEL parasitic (fF)", 90.0),
+    ("extinction_ratio", "Extinction ratio", 11.0),
+    ("pd_responsivity_a_per_w", "PD responsivity (A/W)", 0.5),
+    ("pd_capacitance_ff", "PD capacitance (fF)", 100.0),
+    ("tia_bandwidth_ghz", "TIA bandwidth (GHz)", 36.0),
+    ("tia_gain_v_per_a", "TIA gain (V/A)", 15000.0),
+    ("data_rate_gbps", "Data rate (Gbps)", 40.0),
+    ("snr_db", "Signal-to-noise ratio (dB)", 7.5),
+    ("ber", "Bit-error-rate", 1e-10),
+    ("jitter_ps", "Cycle-to-cycle jitter (ps)", 1.7),
+    ("laser_driver_mw", "Laser driver (mW)", 6.3),
+    ("vcsel_mw", "VCSEL (mW)", 0.96),
+    ("tx_standby_mw", "Transmitter standby (mW)", 0.43),
+    ("receiver_mw", "Receiver (mW)", 4.2),
+]
+
+
+def test_table1_link_budget(benchmark):
+    link = OpticalLink()
+    table = benchmark(link.table1)
+    rows = [
+        [label, paper, table[key]] for key, label, paper in PAPER_ROWS
+    ]
+    print_table(
+        "Table 1: optical link parameters (paper vs measured)",
+        ["parameter", "paper", "measured"],
+        rows,
+        note=(
+            "SNR/BER note: standard Gaussian OOK theory puts BER 1e-10 at "
+            "Q=6.36 (8.0 dB as 10log10(Q)); the paper quotes 7.5 dB."
+        ),
+    )
+    assert abs(table["optical_path_loss_db"] - 2.6) < 0.3
+    assert table["ber"] < 1e-8
+    assert link.feasible()
+
+
+def test_loss_budget_breakdown(benchmark):
+    link = OpticalLink()
+    budget = benchmark(link.path.loss_budget)
+    print_table(
+        "Table 1 supplement: where the 2.6 dB goes",
+        ["component", "loss (dB)"],
+        [[k, v] for k, v in budget.items()],
+    )
+    parts = sum(v for k, v in budget.items() if k != "total_db")
+    assert abs(budget["total_db"] - parts) < 1e-9
+
+
+def test_energy_per_bit(benchmark):
+    link = OpticalLink()
+    epb = benchmark(lambda: link.power.energy_per_bit(link.data_rate))
+    print(f"\ntransmit energy per bit: {epb * 1e12:.3f} pJ (6.3+0.96 mW @ 40 Gbps)")
+    assert 0.15e-12 < epb < 0.25e-12
+
+
+def test_timing_closure(benchmark):
+    """§4.2's synchrony assumption: the 40 Gbps eye budget closes with
+    optical clock distribution and not with an electrical tree."""
+    from repro.core.clocking import ClockDistribution
+
+    def budgets():
+        return {
+            "optical": ClockDistribution(optical=True),
+            "electrical": ClockDistribution(optical=False),
+        }
+
+    dists = benchmark(budgets)
+    rows = []
+    for name, dist in dists.items():
+        budget = dist.budget()
+        rows.append(
+            [name, budget.uncertainty * 1e12, budget.margin * 1e12,
+             "yes" if budget.closes else "NO",
+             dist.max_data_rate() / 1e9]
+        )
+    print_table(
+        "§4.2 supplement: 40 Gbps synchronous-sampling budget",
+        ["clock distribution", "uncertainty (ps)", "margin (ps)",
+         "closes?", "max rate (Gbps)"],
+        rows,
+    )
+    assert dists["optical"].budget().closes
+    assert not dists["electrical"].budget().closes

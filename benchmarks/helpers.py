@@ -1,0 +1,83 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``bench_*`` module regenerates one of the paper's tables or
+figures: it runs the experiment inside a pytest-benchmark measurement
+and prints the same rows/series the paper reports, side by side with
+the paper's numbers where the paper gives them.
+
+Environment knobs (the defaults keep a full ``pytest benchmarks/
+--benchmark-only`` run to roughly fifteen minutes):
+
+* ``REPRO_BENCH_CYCLES`` — simulated cycles per CMP run (default 6000).
+* ``REPRO_BENCH_APPS`` — ``subset`` (default) or ``all`` 16 paper
+  applications for the per-application sweeps.
+"""
+
+from __future__ import annotations
+
+import os
+from functools import lru_cache
+
+from repro.cmp import CmpConfig, CmpSystem
+from repro.workloads import APPLICATIONS
+
+__all__ = [
+    "bench_cycles",
+    "bench_apps",
+    "run_cached",
+    "print_table",
+    "ALL_APPS",
+]
+
+ALL_APPS = list(APPLICATIONS)
+_SUBSET = ["ba", "lu", "oc", "ro", "rx", "ws", "em", "mp"]
+
+
+def bench_cycles(default: int = 6000) -> int:
+    return int(os.environ.get("REPRO_BENCH_CYCLES", default))
+
+
+def bench_apps(limit: int | None = None) -> list[str]:
+    """The application list for per-app sweeps."""
+    if os.environ.get("REPRO_BENCH_APPS", "subset") == "all":
+        apps = ALL_APPS
+    else:
+        apps = _SUBSET
+    return apps[:limit] if limit else apps
+
+
+@lru_cache(maxsize=None)
+def run_cached(app: str, network: str, num_nodes: int = 16, cycles: int | None = None,
+               seed: int = 0, **kwargs):
+    """Run one CMP experiment, memoized across a benchmark session.
+
+    kwargs must be hashable; use tuples for any sequences.
+    """
+    config = CmpConfig(
+        num_nodes=num_nodes, app=app, network=network, seed=seed, **dict(kwargs)
+    )
+    return CmpSystem(config).run(cycles or bench_cycles())
+
+
+def print_table(title: str, header: list[str], rows: list[list], note: str = "") -> None:
+    """Render an aligned text table to stdout."""
+    cells = [header] + [[_fmt(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(header))]
+    line = "  ".join("-" * w for w in widths)
+    print(f"\n=== {title} ===")
+    print("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    print(line)
+    for row in cells[1:]:
+        print("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    if note:
+        print(note)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) < 1e-3 or abs(value) >= 1e5:
+            return f"{value:.2e}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)

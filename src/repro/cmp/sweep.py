@@ -1,0 +1,125 @@
+"""Multi-seed experiment sweeps with summary statistics.
+
+The paper reports single-run numbers; for a simulator with stochastic
+workloads it is good practice to run several seeds and report the
+spread.  :func:`sweep` runs a configuration over seeds and
+applications, and :class:`SweepSummary` reports mean / min / max /
+95%-confidence half-width of any scalar metric, including speedups
+paired by seed (the same seed drives the same workload stream through
+both networks, so pairing removes workload variance).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.cmp.results import CmpResults
+from repro.cmp.system import CmpConfig, CmpSystem
+
+__all__ = ["sweep", "paired_speedups", "SweepSummary"]
+
+
+@dataclass(frozen=True)
+class SweepSummary:
+    """Summary statistics of one scalar metric across runs."""
+
+    values: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not self.values:
+            raise ValueError("summary of no values")
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.values) / len(self.values)
+
+    @property
+    def minimum(self) -> float:
+        return min(self.values)
+
+    @property
+    def maximum(self) -> float:
+        return max(self.values)
+
+    @property
+    def stdev(self) -> float:
+        if len(self.values) < 2:
+            return 0.0
+        mean = self.mean
+        return math.sqrt(
+            sum((v - mean) ** 2 for v in self.values) / (len(self.values) - 1)
+        )
+
+    @property
+    def ci95_halfwidth(self) -> float:
+        """Normal-approximation 95% confidence half-width of the mean."""
+        if len(self.values) < 2:
+            return 0.0
+        return 1.96 * self.stdev / math.sqrt(len(self.values))
+
+    def __str__(self) -> str:
+        return (
+            f"{self.mean:.3f} ± {self.ci95_halfwidth:.3f} "
+            f"[{self.minimum:.3f}, {self.maximum:.3f}] (n={self.count})"
+        )
+
+
+def sweep(
+    app: str,
+    network: str,
+    seeds: Sequence[int],
+    num_nodes: int = 16,
+    cycles: int = 8000,
+    **config_kwargs,
+) -> list[CmpResults]:
+    """Run one configuration across ``seeds``; returns per-seed results."""
+    if not seeds:
+        raise ValueError("need at least one seed")
+    results = []
+    for seed in seeds:
+        config = CmpConfig(
+            num_nodes=num_nodes,
+            app=app,
+            network=network,
+            seed=seed,
+            **config_kwargs,
+        )
+        results.append(CmpSystem(config).run(cycles))
+    return results
+
+
+def paired_speedups(
+    app: str,
+    network: str,
+    baseline: str,
+    seeds: Sequence[int],
+    num_nodes: int = 16,
+    cycles: int = 8000,
+    **config_kwargs,
+) -> SweepSummary:
+    """Seed-paired speedup of ``network`` over ``baseline``.
+
+    Pairing by seed cancels workload randomness: both runs of a pair see
+    the identical operation stream.
+    """
+    fast = sweep(app, network, seeds, num_nodes, cycles, **config_kwargs)
+    base = sweep(app, baseline, seeds, num_nodes, cycles, **config_kwargs)
+    return SweepSummary(
+        tuple(f.ipc / b.ipc for f, b in zip(fast, base))
+    )
+
+
+def summarize(
+    results: Sequence[CmpResults], metric: Callable[[CmpResults], float]
+) -> SweepSummary:
+    """Summary of any scalar extracted from a result list.
+
+    >>> # summarize(runs, lambda r: r.latency_breakdown["total"])
+    """
+    return SweepSummary(tuple(metric(result) for result in results))

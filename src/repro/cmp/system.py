@@ -1,0 +1,573 @@
+"""The CMP system: cores + coherence + interconnect + memory.
+
+One :class:`CmpSystem` corresponds to one row of the paper's
+experiments: an application signature running on N nodes over a chosen
+interconnect.  The system owns the translation between coherence
+messages and network packets, including the §5 optimization wiring:
+
+* request packets are flagged ``expects_data_reply`` (request spacing
+  and resolution hints key off this);
+* sharer invalidations flagged ``ack_via_confirmation`` get an
+  ``on_confirmed`` hook that synthesizes the InvAck at the directory
+  when the FSOI confirmation arrives (§5.1);
+* split writebacks announce themselves so the home node expects the
+  data packet (§5.2);
+* barrier/lock releases reach subscribed waiters as confirmation-channel
+  signals instead of invalidation storms (§5.1).
+
+Local traffic (an L1 talking to the directory slice on its own node)
+bypasses the network with a one-cycle latency, as in the paper's
+simulator.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field, replace
+from typing import Optional, Union
+
+from repro.coherence.directory import DirectoryConfig, DirectoryController
+from repro.coherence.l1 import L1Config, L1Controller
+from repro.coherence.messages import CoherenceMessage, MsgType
+from repro.core.lanes import LaneConfig
+from repro.core.network import FsoiConfig, FsoiNetwork
+from repro.core.optimizations import OptimizationConfig
+from repro.corona.network import CoronaConfig, CoronaNetwork
+from repro.cpu.core import Core, CoreConfig, CoreState
+from repro.cpu.memctrl import MemoryConfig, MemoryController
+from repro.cpu.sync import SyncManager
+from repro.cmp.results import CmpResults
+from repro.mesh.ideal import IdealConfig, IdealNetwork
+from repro.mesh.network import MeshConfig, MeshNetwork
+from repro.net.packet import Packet
+from repro.util.rng import RngHub
+from repro.util.stats import Histogram
+from repro.workloads.splash2 import AppSignature, AppWorkload, signature
+
+__all__ = ["CmpConfig", "CmpSystem", "run_app", "NETWORK_KINDS"]
+
+NETWORK_KINDS = ("fsoi", "mesh", "l0", "lr1", "lr2", "corona")
+
+#: Message types handled by the directory slice (vs. the L1 / memory).
+_DIRECTORY_TYPES = frozenset(
+    {
+        MsgType.REQ_SH, MsgType.REQ_EX, MsgType.REQ_UPG,
+        MsgType.WRITEBACK, MsgType.WB_ANNOUNCE,
+        MsgType.INV_ACK, MsgType.INV_ACK_DATA,
+        MsgType.DWG_ACK, MsgType.DWG_ACK_DATA,
+        MsgType.MEM_ACK,
+    }
+)
+_MEMORY_TYPES = frozenset({MsgType.MEM_READ, MsgType.MEM_WRITE})
+
+
+@dataclass(frozen=True)
+class CmpConfig:
+    """One experiment's configuration (Table 3 defaults)."""
+
+    num_nodes: int = 16
+    app: Union[str, AppSignature] = "ba"
+    network: str = "fsoi"
+    optimizations: OptimizationConfig = field(
+        default_factory=OptimizationConfig.none
+    )
+    memory_gbps: float = 8.8
+    num_memory_channels: Optional[int] = None  # 4 (16-node) / 8 (64-node)
+    core: CoreConfig = field(default_factory=CoreConfig)
+    l1: L1Config = field(default_factory=L1Config)
+    directory: DirectoryConfig = field(default_factory=DirectoryConfig)
+    #: Figure 11 sensitivity knobs: narrower FSOI lanes / mesh links.
+    fsoi_lanes: Optional["LaneConfig"] = None
+    mesh_bandwidth_scale: float = 1.0
+    #: §4.3.1 engineering-margin studies: probability a solo FSOI packet
+    #: is corrupted by signaling errors (handled like a collision).
+    fsoi_packet_error_rate: float = 0.0
+    local_latency: int = 1
+    #: Pre-populate the L2/directory with the workload's reuse pools so
+    #: runs measure steady state rather than the cold-start transient
+    #: (the paper measures inside the parallel sections, long after the
+    #: data is first touched).  Streaming regions stay cold by design.
+    warm_start: bool = True
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.network not in NETWORK_KINDS:
+            raise ValueError(
+                f"unknown network {self.network!r}; choose from {NETWORK_KINDS}"
+            )
+        opts = self.optimizations
+        any_opts = (
+            opts.confirmation_ack or opts.llsc_subscription
+            or opts.request_spacing or opts.resolution_hints
+            or opts.split_writeback
+        )
+        if any_opts and self.network != "fsoi":
+            raise ValueError(
+                "the §5 optimizations rely on the FSOI confirmation "
+                f"channel; network {self.network!r} cannot use them"
+            )
+
+    @property
+    def app_signature(self) -> AppSignature:
+        if isinstance(self.app, AppSignature):
+            return self.app
+        return signature(self.app)
+
+    @property
+    def memory_channels(self) -> int:
+        if self.num_memory_channels is not None:
+            return self.num_memory_channels
+        return 4 if self.num_nodes <= 16 else 8
+
+
+class CmpSystem:
+    """One full chip: build with a config, then :meth:`run`."""
+
+    def __init__(self, config: CmpConfig):
+        self.config = config
+        self.cycle = 0
+        n = config.num_nodes
+        self._rng = RngHub(config.seed)
+
+        self.network = self._build_network()
+        self._is_fsoi = isinstance(self.network, FsoiNetwork)
+        self._calendar: dict[int, list] = {}
+        self._overflow: list[deque[Packet]] = [deque() for _ in range(n)]
+        # §4.4 per-line ordering: (node, line) -> queued (msg, delay).
+        self._line_pending: dict[tuple[int, int], deque] = {}
+
+        # Memory controllers, evenly spread over the nodes.
+        channels = config.memory_channels
+        self.controller_nodes = [
+            round((i + 0.5) * n / channels) % n for i in range(channels)
+        ]
+        mem_config = MemoryConfig.from_gbps(config.memory_gbps)
+        self.memory = {
+            node: MemoryController(node, self._sender_for(node), mem_config)
+            for node in self.controller_nodes
+        }
+
+        # Coherence substrate.
+        opts = config.optimizations
+        l1_config = replace(
+            config.l1,
+            confirmation_ack=opts.confirmation_ack,
+            split_writeback=opts.split_writeback,
+        )
+        dir_config = replace(
+            config.directory, confirmation_ack=opts.confirmation_ack
+        )
+        self.l1s = [
+            L1Controller(
+                node, self._sender_for(node), self.home_of, l1_config
+            )
+            for node in range(n)
+        ]
+        self.directories = [
+            DirectoryController(
+                node, self._sender_for(node), self.memory_node_of, dir_config
+            )
+            for node in range(n)
+        ]
+
+        # Cores and synchronization.
+        self.sync = SyncManager(n, subscription=opts.llsc_subscription)
+        app = config.app_signature
+        self.app_label = app.label
+        self.cores = [
+            Core(
+                node,
+                AppWorkload(app, node, n),
+                self.l1s[node],
+                self.sync,
+                config.core,
+                rng=self._rng.stream(f"core.{node}"),
+            )
+            for node in range(n)
+        ]
+        if opts.llsc_subscription:
+            self.sync.on_barrier_release = self._signal_barrier_release
+            self.sync.on_lock_release = self._signal_lock_release
+
+        for node in range(n):
+            self.network.set_delivery_callback(node, self._on_packet)
+
+        # Figure 5: read-miss request -> reply latency distribution.
+        self._request_issue: dict[tuple[int, int], int] = {}
+        self.reply_latency = Histogram("reply_latency", 0, 200, 20)
+
+        if config.warm_start:
+            self._warm_start()
+
+    def _warm_start(self) -> None:
+        """Pre-populate caches with the steady-state working set.
+
+        Reuse/sync lines become valid in their home L2 slice (DV); each
+        core's private *hot set* is additionally installed in its L1 in
+        E state (directory DM with that core as owner) — those lines are
+        resident essentially always once the parallel section is warm,
+        and without this every run would start with an unrepresentative
+        compulsory-miss burst.
+        """
+        from repro.coherence.directory import DirState
+        from repro.coherence.l1 import L1State
+        from repro.cpu.sync import SyncManager as SM
+
+        lines: set[int] = set()
+        for core in self.cores:
+            lines.update(core.workload.reuse_lines())
+        lines.update(self.cores[0].workload.shared_lines())
+        lines.add(SM.barrier_line())
+        app = self.config.app_signature
+        lines.update(SM.lock_line(i) for i in range(app.lock_count))
+        hot: dict[int, int] = {}  # line -> owning node
+        for node, core in enumerate(self.cores):
+            workload = core.workload
+            for line in workload.reuse_lines()[: app.hot_lines]:
+                hot[line] = node
+        for line in lines:
+            entry = self.directories[self.home_of(line)].entry(line)
+            owner = hot.get(line)
+            if owner is None:
+                entry.state = DirState.DV
+                continue
+            entry.state = DirState.DM
+            entry.sharers = {owner}
+            l1 = self.l1s[owner]
+            l1.array.insert(line)
+            l1._states[line] = L1State.E
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+
+    def _build_network(self):
+        config = self.config
+        n = config.num_nodes
+        kind = config.network
+        if kind == "fsoi":
+            fsoi_kwargs = {}
+            if config.fsoi_lanes is not None:
+                fsoi_kwargs["lanes"] = config.fsoi_lanes
+            return FsoiNetwork(
+                FsoiConfig(
+                    num_nodes=n,
+                    optimizations=config.optimizations,
+                    phase_array=n > 16,
+                    packet_error_rate=config.fsoi_packet_error_rate,
+                    seed=config.seed,
+                    **fsoi_kwargs,
+                ),
+                rng=self._rng.child("fsoi"),
+            )
+        if kind == "mesh":
+            return MeshNetwork(
+                MeshConfig(
+                    num_nodes=n, bandwidth_scale=config.mesh_bandwidth_scale
+                )
+            )
+        if kind == "l0":
+            return IdealNetwork(IdealConfig.l0(n))
+        if kind == "lr1":
+            return IdealNetwork(IdealConfig.lr1(n))
+        if kind == "lr2":
+            return IdealNetwork(IdealConfig.lr2(n))
+        if kind == "corona":
+            return CoronaNetwork(CoronaConfig(num_nodes=n))
+        raise ValueError(f"unknown network kind {kind!r}")  # pragma: no cover
+
+    def home_of(self, line: int) -> int:
+        """Home directory slice of a line (address-interleaved)."""
+        return line % self.config.num_nodes
+
+    def memory_node_of(self, line: int) -> int:
+        """Node hosting the memory channel that serves ``line``."""
+        index = self.home_of(line) % self.config.memory_channels
+        return self.controller_nodes[index]
+
+    def _sender_for(self, node: int):
+        def send(msg: CoherenceMessage, delay: int) -> None:
+            self._send_from(node, msg, delay)
+
+        return send
+
+    # ------------------------------------------------------------------
+    # message transport
+    # ------------------------------------------------------------------
+
+    def _send_from(self, node: int, msg: CoherenceMessage, delay: int) -> None:
+        """Send with per-line point-to-point ordering (paper §4.4).
+
+        A node delays any further message about a cache line until its
+        previous message about that line has been delivered — the
+        serialization the paper uses to cut down transient states.
+        Without it, a meta-lane DwgAck can overtake the data-lane
+        WriteBack it logically follows, which Table 2 does not handle.
+        """
+        if msg.mtype.is_request and msg.sender == msg.requester:
+            self._request_issue[(msg.requester, msg.line)] = self.cycle
+        key = (node, msg.line)
+        pending = self._line_pending.get(key)
+        if pending is not None:
+            pending.append((msg, delay))
+            return
+        self._line_pending[key] = deque()
+        self._transmit(node, msg, delay)
+
+    def _transmit(self, node: int, msg: CoherenceMessage, delay: int) -> None:
+        if msg.dest == node:
+            self._at(
+                self.cycle + delay + self.config.local_latency,
+                lambda: self._complete_local(node, msg),
+            )
+            return
+        self._at(self.cycle + delay, lambda: self._inject(node, msg))
+
+    def _complete_local(self, node: int, msg: CoherenceMessage) -> None:
+        self._dispatch(msg.dest, msg)
+        self._release_line(node, msg.line)
+
+    def _release_line(self, node: int, line: int) -> None:
+        key = (node, line)
+        pending = self._line_pending.get(key)
+        if pending is None:
+            return
+        if pending:
+            msg, delay = pending.popleft()
+            self._transmit(node, msg, delay)
+        else:
+            del self._line_pending[key]
+
+    def _inject(self, node: int, msg: CoherenceMessage) -> None:
+        packet = self._packetize(node, msg)
+        queue = self._overflow[node]
+        if queue or not self.network.try_send(packet, self.cycle):
+            queue.append(packet)
+
+    def _packetize(self, node: int, msg: CoherenceMessage) -> Packet:
+        mtype = msg.mtype
+        packet = Packet(
+            src=node,
+            dst=msg.dest,
+            lane=msg.lane,
+            payload=msg,
+            is_reply_to_request=mtype
+            in (MsgType.DATA_S, MsgType.DATA_E, MsgType.DATA_M, MsgType.MEM_ACK),
+            is_writeback=mtype is MsgType.WRITEBACK,
+            is_memory=mtype in _MEMORY_TYPES or mtype is MsgType.MEM_ACK,
+            expects_data_reply=mtype
+            in (MsgType.REQ_SH, MsgType.REQ_EX, MsgType.MEM_READ),
+        )
+        if (
+            self._is_fsoi
+            and mtype is MsgType.INV
+            and msg.ack_via_confirmation
+        ):
+            home = node
+            target = msg.dest
+            ack = CoherenceMessage(
+                mtype=MsgType.INV_ACK,
+                line=msg.line,
+                sender=target,
+                dest=home,
+                requester=msg.requester,
+            )
+            packet.on_confirmed = lambda: self.directories[home].handle(ack)
+        return packet
+
+    def _on_packet(self, packet: Packet) -> None:
+        msg = packet.payload
+        if (
+            self._is_fsoi
+            and msg.mtype is MsgType.WB_ANNOUNCE
+            and self.config.optimizations.split_writeback
+        ):
+            self.network.expect_data_from(msg.dest, msg.sender)
+        self._dispatch(msg.dest, msg)
+        self._release_line(packet.src, msg.line)
+
+    def _dispatch(self, node: int, msg: CoherenceMessage) -> None:
+        mtype = msg.mtype
+        if mtype in _MEMORY_TYPES:
+            self.memory[node].handle(msg, self.cycle)
+            return
+        if mtype in _DIRECTORY_TYPES:
+            self.directories[node].handle(msg)
+            return
+        # L1-bound: record read-miss reply latency for Figure 5.
+        if mtype in (
+            MsgType.DATA_S, MsgType.DATA_E, MsgType.DATA_M, MsgType.EXC_ACK
+        ):
+            issued = self._request_issue.pop((node, msg.line), None)
+            if issued is not None:
+                self.reply_latency.record(self.cycle - issued)
+        self.l1s[node].handle(msg)
+
+    def _at(self, cycle: int, action) -> None:
+        if cycle <= self.cycle:
+            action()
+            return
+        self._calendar.setdefault(cycle, []).append(action)
+
+    # -- §5.1 subscription signals ----------------------------------------------
+
+    def _signal_barrier_release(self, epoch: int) -> None:
+        waiting = [
+            core
+            for core in self.cores
+            if core.state is CoreState.BARRIER_WAIT
+        ]
+        for core in waiting:
+            self._signal(core)
+
+    def _signal_lock_release(self, lock_id: int, waiters: list[int]) -> None:
+        for node in waiters:
+            self._signal(self.cores[node])
+
+    def _signal(self, core: Core) -> None:
+        delay = self.network.confirmations.delay if self._is_fsoi else 1
+        if self._is_fsoi:
+            self.network.confirmations.send_signal(
+                self.cycle, core.release_signal
+            )
+        else:  # pragma: no cover - guarded by CmpConfig validation
+            self._at(self.cycle + delay, core.release_signal)
+
+    # ------------------------------------------------------------------
+    # the simulation loop
+    # ------------------------------------------------------------------
+
+    def tick(self) -> None:
+        cycle = self.cycle
+        for action in self._calendar.pop(cycle, ()):  # due events
+            action()
+        for node, queue in enumerate(self._overflow):
+            while queue and self.network.try_send(queue[0], cycle):
+                queue.popleft()
+        for controller in self.memory.values():
+            controller.tick(cycle)
+        self.network.tick(cycle)
+        for core in self.cores:
+            core.tick(cycle)
+        self.cycle = cycle + 1
+
+    def run(self, cycles: int) -> CmpResults:
+        """Simulate ``cycles`` cycles and collect the results."""
+        target = self.cycle + cycles
+        while self.cycle < target:
+            self.tick()
+        return self._results()
+
+    def run_until_instructions(
+        self, instructions: int, max_cycles: int = 10_000_000
+    ) -> CmpResults:
+        """Run until the cores have retired ``instructions`` in total.
+
+        This is the paper's own methodology — execution *time* for a
+        fixed workload ("we measure the same workload"); the speedup of
+        two configurations is then their cycle-count ratio, identical
+        to the IPC ratio only in steady state.
+        """
+        if instructions < 1:
+            raise ValueError(f"need a positive work target: {instructions}")
+        limit = self.cycle + max_cycles
+        while self.cycle < limit:
+            if sum(core.instructions for core in self.cores) >= instructions:
+                return self._results()
+            self.tick()
+        raise RuntimeError(
+            f"work target {instructions} not reached within {max_cycles} cycles"
+        )
+
+    # ------------------------------------------------------------------
+    # results
+    # ------------------------------------------------------------------
+
+    def _results(self) -> CmpResults:
+        def merge(groups) -> dict[str, int]:
+            out: dict[str, int] = {}
+            for group in groups:
+                for key, value in group.as_dict().items():
+                    if isinstance(value, int):
+                        out[key] = out.get(key, 0) + value
+            return out
+
+        net = self.network.stats
+        fsoi: dict = {}
+        if self._is_fsoi:
+            from repro.net.packet import LaneKind
+
+            lane_groups = self.network.stats.group.as_dict()
+            fsoi = {
+                "meta_transmissions": lane_groups["meta"]["transmissions"],
+                "data_transmissions": lane_groups["data"]["transmissions"],
+                "meta_tx_probability": self.network.transmission_probability(
+                    LaneKind.META
+                ),
+                "data_tx_probability": self.network.transmission_probability(
+                    LaneKind.DATA
+                ),
+                "meta_collision_rate": self.network.collision_rate(LaneKind.META),
+                "data_collision_rate": self.network.collision_rate(LaneKind.DATA),
+                "meta_collisions_per_node_slot": (
+                    self.network.collision_events_per_node_slot(LaneKind.META)
+                ),
+                "data_collision_breakdown": self.network.data_collision_breakdown(),
+                "hints": self.network.hint_summary(),
+                "confirmations": self.network.confirmations.confirmations_sent,
+                "signals": self.network.confirmations.signals_sent,
+                "phase_array": self.network.phase_array_summary(),
+            }
+        mesh_activity = (
+            self.network.activity() if isinstance(self.network, MeshNetwork) else {}
+        )
+        return CmpResults(
+            app=self.app_label,
+            network=self.config.network,
+            num_nodes=self.config.num_nodes,
+            cycles=self.cycle,
+            instructions=sum(c.instructions for c in self.cores),
+            instructions_per_core=[c.instructions for c in self.cores],
+            latency_breakdown=net.breakdown(),
+            packets_sent=int(net.sent),
+            packets_delivered=int(net.delivered),
+            bits_sent=int(net.bits_sent),
+            l1=merge(c.stats for c in self.l1s),
+            directory=merge(d.stats for d in self.directories),
+            memory=merge(m.stats for m in self.memory.values()),
+            sync={
+                "barriers_completed": self.sync.barriers_completed,
+                "lock_acquisitions": self.sync.lock_acquisitions,
+                "lock_retries": self.sync.lock_retries,
+            },
+            core_cycles={
+                "busy": sum(int(c.busy_cycles) for c in self.cores),
+                "stall": sum(int(c.stall_cycles) for c in self.cores),
+                "sync": sum(int(c.sync_cycles) for c in self.cores),
+            },
+            reply_latency=self.reply_latency,
+            fsoi=fsoi,
+            mesh_activity=mesh_activity,
+            traffic_matrix=self.network.traffic_matrix(),
+        )
+
+
+def run_app(
+    app: str,
+    network: str,
+    num_nodes: int = 16,
+    cycles: int = 20_000,
+    optimizations: Optional[OptimizationConfig] = None,
+    seed: int = 0,
+    **config_kwargs,
+) -> CmpResults:
+    """Convenience one-call experiment: build, run, return results."""
+    config = CmpConfig(
+        num_nodes=num_nodes,
+        app=app,
+        network=network,
+        optimizations=optimizations or OptimizationConfig.none(),
+        seed=seed,
+        **config_kwargs,
+    )
+    return CmpSystem(config).run(cycles)

@@ -1,0 +1,32 @@
+"""MESI directory-based coherence substrate (paper §6, Table 2).
+
+The protocol is implemented exactly as Table 2 specifies, including the
+transient states and the "z" (cannot-process-now, queue it) and
+reinterpretation (a queued Req(Upg) that races with an invalidation is
+re-read as Req(Ex)) cases:
+
+* :mod:`repro.coherence.messages` — the message vocabulary between L1
+  controllers, the directory and memory, and its packet mapping
+  (requests/acks are 72-bit meta packets, data transfers 360-bit data
+  packets).
+* :mod:`repro.coherence.l1` — the L1 cache controller state machine
+  (M/E/S/I plus I.SD, I.MD, S.MA).
+* :mod:`repro.coherence.directory` — the L2/directory controller state
+  machine (DM/DS/DV/DI plus eight transient states).
+
+Fetch deadlock is avoided probabilistically with NACK/Retry, the
+approach the paper adopts (§4.3.1 fn. 3).
+"""
+
+from repro.coherence.directory import DirectoryController, DirState
+from repro.coherence.l1 import L1Controller, L1State
+from repro.coherence.messages import CoherenceMessage, MsgType
+
+__all__ = [
+    "DirectoryController",
+    "DirState",
+    "L1Controller",
+    "L1State",
+    "CoherenceMessage",
+    "MsgType",
+]

@@ -1,0 +1,106 @@
+"""Coherence message vocabulary and its network-packet mapping.
+
+Message types follow Table 2's event columns.  Anything carrying a cache
+line (data replies, writebacks, acks-with-data from an M owner) travels
+as a 360-bit data packet; requests, invalidations, downgrades and plain
+acks are 72-bit meta packets (Table 3).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum, auto
+
+from repro.net.packet import LaneKind
+
+__all__ = ["MsgType", "CoherenceMessage"]
+
+_message_ids = itertools.count()
+
+
+class MsgType(Enum):
+    """Every message exchanged by L1s, directories and memory."""
+
+    # L1 -> directory
+    REQ_SH = auto()       # read in shared mode
+    REQ_EX = auto()       # read in exclusive mode
+    REQ_UPG = auto()      # upgrade S -> M
+    WRITEBACK = auto()    # eviction of an M line (carries data)
+    WB_ANNOUNCE = auto()  # §5.2 split-transaction writeback announcement
+    INV_ACK = auto()      # invalidation acknowledgment
+    INV_ACK_DATA = auto()  # invalidation ack from an M owner (carries data)
+    DWG_ACK = auto()      # downgrade acknowledgment
+    DWG_ACK_DATA = auto()  # downgrade ack from an M owner (carries data)
+    # directory -> L1
+    DATA_S = auto()       # data reply, shared
+    DATA_E = auto()       # data reply, exclusive
+    DATA_M = auto()       # data reply, modified (write permission)
+    EXC_ACK = auto()      # upgrade granted, no data needed
+    INV = auto()          # invalidate
+    DWG = auto()          # downgrade to shared
+    RETRY = auto()        # NACK: resend later (fetch-deadlock avoidance)
+    # directory <-> memory controller
+    MEM_READ = auto()     # fetch line from memory
+    MEM_WRITE = auto()    # write line back to memory (carries data)
+    MEM_ACK = auto()      # memory read completion (carries data)
+
+    @property
+    def carries_data(self) -> bool:
+        return self in _DATA_CARRYING
+
+    @property
+    def lane(self) -> LaneKind:
+        return LaneKind.DATA if self.carries_data else LaneKind.META
+
+    @property
+    def is_request(self) -> bool:
+        return self in (MsgType.REQ_SH, MsgType.REQ_EX, MsgType.REQ_UPG)
+
+
+_DATA_CARRYING = frozenset(
+    {
+        MsgType.WRITEBACK,
+        MsgType.INV_ACK_DATA,
+        MsgType.DWG_ACK_DATA,
+        MsgType.DATA_S,
+        MsgType.DATA_E,
+        MsgType.DATA_M,
+        MsgType.MEM_WRITE,
+        MsgType.MEM_ACK,
+    }
+)
+
+
+@dataclass
+class CoherenceMessage:
+    """One protocol message about one cache line.
+
+    ``requester`` is carried through the directory's transient states so
+    forwarded data ends up at the right node; ``sender`` is whoever put
+    the message on the wire.
+    """
+
+    mtype: MsgType
+    line: int
+    sender: int
+    dest: int
+    requester: int = -1
+    #: §5.1 — set on INV messages whose delivery confirmation doubles as
+    #: the acknowledgment; the receiver omits the data-less InvAck packet.
+    ack_via_confirmation: bool = False
+    uid: int = field(default_factory=lambda: next(_message_ids))
+
+    def __post_init__(self) -> None:
+        if self.line < 0:
+            raise ValueError(f"negative line address: {self.line}")
+
+    @property
+    def lane(self) -> LaneKind:
+        return self.mtype.lane
+
+    def __repr__(self) -> str:
+        return (
+            f"Msg({self.mtype.name} line={self.line:#x} "
+            f"{self.sender}->{self.dest} req={self.requester})"
+        )

@@ -1,0 +1,132 @@
+"""Chip-wide synchronous clocking budget (paper §4.2).
+
+The FSOI design assumes "the whole chip is synchronous (e.g., using
+optical clock distribution), no clock recovery circuit is needed".
+That assumption has a budget behind it: every receiver samples a
+40 Gbps eye, so the *total* timing uncertainty — clock skew between any
+transmitter/receiver pair, clock jitter, link random jitter, and
+residual path skew after serializer padding — must fit inside the 25 ps
+bit period with margin.
+
+This module adds those contributions up, the way a link designer's
+timing-closure spreadsheet would, and reports whether chip-synchronous
+sampling closes.  An optically distributed clock (broadcast from a
+single source through the same free-space layer) is modeled as a
+near-zero-skew distribution with only receiver-local conversion skew.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core.link import OpticalLink
+
+__all__ = ["ClockDistribution", "TimingBudget"]
+
+
+@dataclass(frozen=True)
+class TimingBudget:
+    """The timing-closure scorecard for one sampling point."""
+
+    bit_period: float
+    skew: float
+    total_jitter_rms: float
+    residual_path_skew: float
+    eye_fraction_required: float = 0.55
+
+    @property
+    def uncertainty(self) -> float:
+        """Deterministic terms plus 7 sigma of random jitter, seconds.
+
+        7 sigma bounds the jitter-induced error rate near the link's
+        1e-10 BER budget so timing errors don't dominate it.
+        """
+        return self.skew + self.residual_path_skew + 7.0 * self.total_jitter_rms
+
+    @property
+    def closes(self) -> bool:
+        """Whether the eye opening leaves the required sampling window."""
+        return self.uncertainty <= (1.0 - self.eye_fraction_required) * self.bit_period
+
+    @property
+    def margin(self) -> float:
+        """Leftover time after the budget, seconds (negative = fails)."""
+        return (1.0 - self.eye_fraction_required) * self.bit_period - self.uncertainty
+
+
+@dataclass(frozen=True)
+class ClockDistribution:
+    """A chip-wide clock source and its distribution quality.
+
+    Parameters
+    ----------
+    optical:
+        Optical broadcast distribution (the paper's suggestion) versus a
+        conventional electrical global H-tree.
+    source_jitter_rms:
+        RMS jitter of the clock source itself, seconds.
+    electrical_skew / optical_skew:
+        Worst pairwise skew of each distribution style: tens of ps for
+        a global electrical tree at 45 nm; sub-ps for a free-space
+        broadcast (all paths equalized by construction) plus the
+        local O/E conversion spread.
+    """
+
+    optical: bool = True
+    source_jitter_rms: float = 0.3e-12
+    electrical_skew: float = 15e-12
+    optical_skew: float = 1.0e-12
+    link: OpticalLink = field(default_factory=OpticalLink)
+
+    @property
+    def skew(self) -> float:
+        return self.optical_skew if self.optical else self.electrical_skew
+
+    #: Resolution of the transmitter digital delay lines that absorb the
+    #: sub-bit residue after whole-bit serializer padding (§4.2 fn. 2).
+    delay_line_resolution: float = 1.5e-12
+
+    def residual_path_skew(self) -> float:
+        """Path-length skew left after padding + delay-line trimming.
+
+        Serializer padding handles whole bit periods, the digital delay
+        lines trim the rest down to their resolution (§4.2 fn. 2).
+        """
+        return self.delay_line_resolution
+
+    def total_jitter_rms(self) -> float:
+        """Clock jitter and link random jitter add in quadrature."""
+        return math.hypot(self.source_jitter_rms, self.link.random_jitter_rms())
+
+    def budget(self) -> TimingBudget:
+        """The §4.2 synchronous-sampling budget at the receivers.
+
+        >>> ClockDistribution(optical=True).budget().closes
+        True
+        >>> ClockDistribution(optical=False).budget().closes
+        False
+        """
+        return TimingBudget(
+            bit_period=self.link.bit_time,
+            skew=self.skew,
+            total_jitter_rms=self.total_jitter_rms(),
+            residual_path_skew=self.residual_path_skew(),
+        )
+
+    def max_data_rate(self) -> float:
+        """Largest bit rate at which the budget still closes, bits/s.
+
+        Sweeps the rate downward from the device ceiling in 1 Gbps
+        steps; the electrical tree's 15 ps skew caps it far below the
+        optical distribution's.
+        """
+        from dataclasses import replace
+
+        rate = 80e9
+        while rate >= 1e9:
+            candidate = replace(self, link=replace(self.link, data_rate=rate))
+            if candidate.budget().closes:
+                return rate
+            rate -= 1e9
+        return 0.0

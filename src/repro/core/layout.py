@@ -1,0 +1,137 @@
+"""Chip-level optical layout (paper Figure 1c).
+
+The paper's top view places each node's VCSEL arrays at the center of
+its core and the photodetectors on the periphery, with fixed
+micro-mirrors folding a free-space path between every (transmitter,
+receiver) pair.  This module computes the per-pair geometry for a
+square-mesh floorplan and answers the layout-level questions the paper
+treats qualitatively:
+
+* does *every* pair's link close (worst-case loss is the corner-to-
+  corner diagonal that Table 1 budgets for)?
+* how much serializer padding does each pair need so the chip stays
+  synchronous (§4.2 footnote 2: skews of a few bit times)?
+* how many fixed mirrors does the full mesh of beams require
+  (§3.2: at most n² mirrors)?
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+
+from repro.core.link import OpticalLink
+from repro.optics.path import FreeSpacePath
+from repro.util.units import CM
+
+__all__ = ["ChipLayout"]
+
+
+@dataclass(frozen=True)
+class ChipLayout:
+    """A square CMP floorplan with per-node optical sites.
+
+    Parameters
+    ----------
+    num_nodes:
+        Node count; must be a perfect square (mesh floorplan).
+    chip_width:
+        Die edge length, meters (2 cm x 2 cm in the paper's link
+        budget, putting the worst diagonal at ~2.0-2.8 cm).
+    link:
+        The reference link whose optics are rescaled per pair.
+    mirror_bounces:
+        Mirror reflections per hop (up, across, down).
+    """
+
+    num_nodes: int = 16
+    chip_width: float = 1.4 * CM
+    link: OpticalLink = field(default_factory=OpticalLink)
+    mirror_bounces: int = 2
+
+    def __post_init__(self) -> None:
+        side = int(round(math.sqrt(self.num_nodes)))
+        if side * side != self.num_nodes:
+            raise ValueError(f"floorplan needs a square node count: {self.num_nodes}")
+        if self.chip_width <= 0:
+            raise ValueError(f"chip width must be positive: {self.chip_width}")
+
+    @property
+    def side(self) -> int:
+        return int(round(math.sqrt(self.num_nodes)))
+
+    def position(self, node: int) -> tuple[float, float]:
+        """Center of ``node``'s VCSEL array on the die, meters."""
+        if not 0 <= node < self.num_nodes:
+            raise ValueError(f"node {node} out of range")
+        pitch = self.chip_width / self.side
+        x = (node % self.side + 0.5) * pitch
+        y = (node // self.side + 0.5) * pitch
+        return x, y
+
+    def distance(self, src: int, dst: int) -> float:
+        """Free-space hop length between two nodes, meters.
+
+        The beam travels up to the mirror plane, across the lateral
+        separation, and back down; the vertical legs are small compared
+        to the lateral span and are folded into the mirror bounces.
+        """
+        if src == dst:
+            raise ValueError("no optical hop to self")
+        sx, sy = self.position(src)
+        dx, dy = self.position(dst)
+        return math.hypot(sx - dx, sy - dy)
+
+    def path_for(self, src: int, dst: int) -> FreeSpacePath:
+        """The reference path rescaled to this pair's distance."""
+        return replace(self.link.path, distance=self.distance(src, dst))
+
+    def link_for(self, src: int, dst: int) -> OpticalLink:
+        return replace(self.link, path=self.path_for(src, dst))
+
+    # -- layout-level analyses ---------------------------------------------
+
+    def worst_pair(self) -> tuple[int, int]:
+        """The most distant (and hence lossiest) node pair."""
+        return 0, self.num_nodes - 1  # opposite corners of the floorplan
+
+    def all_links_close(self, ber_target: float = 1e-9) -> bool:
+        """Whether the worst-case pair still meets the BER target.
+
+        Loss is monotone in distance, so checking the corner pair
+        suffices.
+
+        >>> ChipLayout().all_links_close()
+        True
+        """
+        src, dst = self.worst_pair()
+        return self.link_for(src, dst).ber() <= ber_target
+
+    def padding_bits(self, src: int, dst: int) -> int:
+        """Serializer padding for this pair against the slowest path."""
+        worst = self.path_for(*self.worst_pair())
+        return self.link_for(src, dst).serializer_padding_bits(worst)
+
+    def max_padding_bits(self) -> int:
+        """Worst padding any pair needs (§4.2 fn. 2: ~3 bit times).
+
+        The shortest hop (adjacent nodes) needs the most padding.
+        """
+        return self.padding_bits(0, 1)
+
+    def mirror_count(self) -> int:
+        """Fixed mirrors for a full mesh of beams: bounces per ordered pair.
+
+        Bounded by the paper's n-squared estimate times the per-hop
+        bounce count.
+        """
+        pairs = self.num_nodes * (self.num_nodes - 1)
+        return pairs * self.mirror_bounces
+
+    def loss_table(self) -> dict[tuple[int, int], float]:
+        """Per-pair optical loss in dB (symmetric; src < dst only)."""
+        out = {}
+        for src in range(self.num_nodes):
+            for dst in range(src + 1, self.num_nodes):
+                out[(src, dst)] = self.path_for(src, dst).loss_db()
+        return out

@@ -1,0 +1,179 @@
+"""The end-to-end single-bit FSOI link (paper §4.2, Figure 2, Table 1).
+
+Assembles the photonic substrate — VCSEL, free-space path, photodetector,
+receiver noise — into the link whose parameters Table 1 reports, and adds
+the timing/power quantities the architecture layers consume:
+
+* the 40 Gbps channel rate vs. the 3.3 GHz core clock gives **12 bits
+  per CPU cycle per VCSEL** (Table 3), the basis of lane serialization;
+* transmit/standby/receive powers feed the energy model
+  (:mod:`repro.power.optical`);
+* path-length skew between links must stay within the serializer's
+  padding ability (§4.2 footnote 2: up to ~3 communication cycles).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.optics.noise import ReceiverNoise
+from repro.optics.path import FreeSpacePath
+from repro.optics.photodetector import Photodetector
+from repro.optics.vcsel import Vcsel
+from repro.util.units import MW, PS
+
+__all__ = ["OpticalLink", "LinkPower"]
+
+
+@dataclass(frozen=True)
+class LinkPower:
+    """Power figures of one transceiver (Table 1's Power Consumption).
+
+    The driver/receiver numbers come from the paper's circuit
+    simulations (DAVINCI, 45 nm ITRS), which we take as given constants;
+    the VCSEL electrical power is recomputed from the device model.
+    """
+
+    laser_driver: float = 6.3 * MW
+    vcsel: float = 0.96 * MW
+    transmitter_standby: float = 0.43 * MW
+    receiver: float = 4.2 * MW
+
+    @property
+    def transmitter_active(self) -> float:
+        """Total transmit-side power while sending, watts."""
+        return self.laser_driver + self.vcsel
+
+    def energy_per_bit(self, data_rate: float) -> float:
+        """Transmit energy per bit at ``data_rate`` bits/s, joules.
+
+        ~0.18 pJ/bit at 40 Gbps — the integrated-VCSEL advantage the
+        paper leans on versus commercial external lasers.
+        """
+        if data_rate <= 0:
+            raise ValueError(f"data rate must be positive: {data_rate}")
+        return self.transmitter_active / data_rate
+
+
+@dataclass(frozen=True)
+class OpticalLink:
+    """One transmitter -> free space -> receiver bit channel.
+
+    Defaults reproduce the Table 1 operating point: 40 Gbps OOK at
+    980 nm across the 2 cm chip diagonal.
+    """
+
+    vcsel: Vcsel = field(default_factory=Vcsel)
+    path: FreeSpacePath = field(default_factory=FreeSpacePath)
+    detector: Photodetector = field(default_factory=Photodetector)
+    noise: ReceiverNoise = field(default_factory=ReceiverNoise)
+    power: LinkPower = field(default_factory=LinkPower)
+    data_rate: float = 40e9
+    core_clock: float = 3.3e9
+
+    def __post_init__(self) -> None:
+        if self.data_rate <= 0 or self.core_clock <= 0:
+            raise ValueError("data rate and core clock must be positive")
+
+    # -- optical budget ----------------------------------------------------
+
+    def received_powers(self) -> tuple[float, float]:
+        """(P1, P0) optical powers arriving at the detector, watts."""
+        p1, p0 = self.vcsel.ook_levels()
+        t = self.path.transmission()
+        return p1 * t, p0 * t
+
+    def photocurrents(self) -> tuple[float, float]:
+        """(I1, I0) detector currents for the two OOK symbols, amperes."""
+        p1, p0 = self.received_powers()
+        return self.detector.photocurrent(p1), self.detector.photocurrent(p0)
+
+    def q_factor(self) -> float:
+        i1, i0 = self.photocurrents()
+        return self.noise.q_factor(i1, i0)
+
+    def snr_db(self) -> float:
+        """Link SNR, dB (Table 1: 7.5 dB; our Gaussian model gives ~8)."""
+        i1, i0 = self.photocurrents()
+        return self.noise.snr_db(i1, i0)
+
+    def ber(self) -> float:
+        """Bit-error rate (Table 1: 1e-10).
+
+        >>> OpticalLink().ber() < 1e-8
+        True
+        """
+        i1, i0 = self.photocurrents()
+        return self.noise.ber(i1, i0)
+
+    # -- timing --------------------------------------------------------------
+
+    @property
+    def bit_time(self) -> float:
+        """One communication (mini-)cycle, seconds (25 ps at 40 Gbps)."""
+        return 1.0 / self.data_rate
+
+    @property
+    def bits_per_cpu_cycle(self) -> int:
+        """Serializer throughput per VCSEL per core cycle (Table 3: 12)."""
+        return int(self.data_rate // self.core_clock)
+
+    def random_jitter_rms(self) -> float:
+        """Cycle-to-cycle random jitter from amplitude noise, seconds.
+
+        Amplitude-to-time conversion at the limiting amplifier's
+        threshold crossing: ``sigma_t = t_rise * sigma_I / (I1 - I0)``,
+        and cycle-to-cycle jitter is sqrt(2) of that (adjacent edges are
+        independent).  Table 1 quotes 1.7 ps (which also folds in
+        deterministic jitter our model does not track).
+        """
+        i1, i0 = self.photocurrents()
+        rise_time = 0.35 / self.noise.bandwidth
+        sigma_edge = rise_time * self.noise.level_sigma(i1) / (i1 - i0)
+        return math.sqrt(2.0) * sigma_edge
+
+    def serializer_padding_bits(self, shortest_path: FreeSpacePath) -> int:
+        """Bits of padding needed to align this link to the slowest path.
+
+        The paper keeps the chip synchronous by padding faster paths in
+        the serializer (§4.2 fn. 2); skews are a few bit times.
+        """
+        skew = self.path.skew_versus(shortest_path)
+        return int(math.ceil(skew / self.bit_time))
+
+    def feasible(self) -> bool:
+        """Whether the device chain supports the configured data rate."""
+        return self.vcsel.supports_data_rate(self.data_rate)
+
+    # -- reporting -------------------------------------------------------------
+
+    def table1(self) -> dict[str, float]:
+        """The measured analogue of the paper's Table 1."""
+        i1, i0 = self.photocurrents()
+        return {
+            "transmission_distance_cm": self.path.distance * 100.0,
+            "optical_wavelength_nm": self.path.wavelength * 1e9,
+            "optical_path_loss_db": self.path.loss_db(),
+            "tx_microlens_aperture_um": self.path.tx_lens.aperture * 1e6,
+            "rx_microlens_aperture_um": self.path.rx_lens.aperture * 1e6,
+            "vcsel_aperture_um": self.vcsel.aperture * 1e6,
+            "vcsel_threshold_ma": self.vcsel.threshold_current * 1e3,
+            "vcsel_parasitic_ohm": self.vcsel.parasitic_resistance,
+            "vcsel_parasitic_ff": self.vcsel.parasitic_capacitance * 1e15,
+            "extinction_ratio": self.vcsel.extinction_ratio,
+            "pd_responsivity_a_per_w": self.detector.responsivity,
+            "pd_capacitance_ff": self.detector.capacitance * 1e15,
+            "tia_bandwidth_ghz": self.noise.bandwidth / 1e9,
+            "tia_gain_v_per_a": self.noise.transimpedance_gain,
+            "data_rate_gbps": self.data_rate / 1e9,
+            "snr_db": self.snr_db(),
+            "ber": self.ber(),
+            "jitter_ps": self.random_jitter_rms() / PS,
+            "laser_driver_mw": self.power.laser_driver / MW,
+            "vcsel_mw": self.power.vcsel / MW,
+            "tx_standby_mw": self.power.transmitter_standby / MW,
+            "receiver_mw": self.power.receiver / MW,
+            "photocurrent_one_ua": i1 * 1e6,
+            "photocurrent_zero_ua": i0 * 1e6,
+        }

@@ -1,0 +1,637 @@
+"""The cycle-level FSOI network simulator (paper §4.1–4.3, §5.2).
+
+This is the executable form of the paper's interconnect: a fully
+distributed quasi-crossbar with **no arbitration and no packet relay**.
+Every node owns a meta lane and a data lane.  At each lane's slot
+boundary every node may start transmitting one packet; simultaneous
+transmissions that land on the same *receiver* of the same destination
+collide — the photodetector sees the OR of the light pulses, the
+PID/~PID header flags the corruption, no confirmation comes back, and
+the senders retry under exponential back-off.
+
+Timeline of one transmission (slot length ``L``, confirmation delay 2):
+
+====================  =========================================
+cycle ``s``           slot starts; serializer begins
+cycle ``s + L - 1``   last bits received ("received in cycle n")
+cycle ``n + 1``       decode / error check (rx overhead)
+cycle ``n + 2``       confirmation arrives back at the sender
+====================  =========================================
+
+A phase-array system (64 nodes) charges one extra cycle whenever a
+lane's beam must be re-steered to a new destination.
+
+The simulator knows every slot's outcome immediately, so sender-side
+collision *detection* is modeled by scheduling the sender's reaction at
+the cycle it would have noticed the missing confirmation — no state is
+leaked across nodes ahead of time.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.core.backoff import BackoffPolicy
+from repro.core.confirmation import ConfirmationChannel
+from repro.core.lanes import LaneConfig
+from repro.core.optimizations import (
+    ExpectedReplies,
+    OptimizationConfig,
+    SlotReservations,
+)
+from repro.core.phase_array import PhaseArray
+from repro.net.interface import Interconnect
+from repro.net.packet import (
+    LaneKind,
+    Packet,
+    candidate_senders,
+    collision_detected,
+    merged_header,
+    merged_one_hot,
+    one_hot_senders,
+)
+from repro.util.rng import RngHub
+
+__all__ = ["FsoiConfig", "FsoiNetwork"]
+
+
+def _noop() -> None:
+    pass
+
+
+@dataclass(frozen=True)
+class FsoiConfig:
+    """Configuration of the FSOI network.
+
+    Parameters
+    ----------
+    num_nodes:
+        N.  16 (dedicated lasers) and 64 (phase array) in the paper.
+    lanes:
+        Lane widths / slotting / receiver counts (Table 3 defaults).
+    backoff:
+        Retransmission policy (W=2.7, B=1.1 defaults).
+    optimizations:
+        §5 optimization switches.
+    phase_array:
+        Use a steerable transmitter per lane instead of dedicated
+        VCSEL arrays per destination.
+    phase_setup_cycles:
+        Re-steering penalty (Table 3: 1 cycle).
+    rx_overhead:
+        Decode / error-check cycles between last bit and delivery.
+    packet_error_rate:
+        Probability a *solo* packet is corrupted anyway (signaling
+        errors; the collision mechanism absorbs them, §4.3.1).
+    reply_latency_estimate:
+        Request-spacing prediction of request -> data-reply latency,
+        cycles (§5.2; Figure 5 shows the real distribution is tightly
+        concentrated, so a point estimate captures most of the win).
+    seed:
+        Root seed for the network's private RNG streams.
+    """
+
+    num_nodes: int = 16
+    lanes: LaneConfig = field(default_factory=LaneConfig)
+    backoff: BackoffPolicy = field(default_factory=BackoffPolicy)
+    optimizations: OptimizationConfig = field(default_factory=OptimizationConfig.none)
+    phase_array: bool = False
+    phase_setup_cycles: int = 1
+    rx_overhead: int = 1
+    packet_error_rate: float = 0.0
+    reply_latency_estimate: int = 30
+    #: Paper footnote 7: for small-scale networks, a bit-vector (one-hot)
+    #: PID encoding lets the receiver identify colliders definitively,
+    #: making the §5.2 resolution hint always correct.
+    one_hot_pid: bool = False
+    #: §4.3.2 ablation: with ``slotted=False`` transmissions may start on
+    #: any cycle and collide on *overlap* (pure ALOHA); the paper's
+    #: design constrains starts to slot boundaries (slotted ALOHA, ref
+    #: [40]), roughly halving the vulnerable window.
+    slotted: bool = True
+    seed: int = 0
+
+    @property
+    def id_bits(self) -> int:
+        """Bits of PID in the header (and of ~PID)."""
+        return max(1, math.ceil(math.log2(self.num_nodes)))
+
+
+class _RetxEntry:
+    """A packet waiting out its back-off window."""
+
+    __slots__ = ("release", "seq", "packet")
+
+    def __init__(self, release: int, seq: int, packet: Packet):
+        self.release = release
+        self.seq = seq
+        self.packet = packet
+
+
+class _LaneState:
+    """Per-(node, lane) transmit state."""
+
+    __slots__ = ("queue", "retx", "opa", "retx_seq")
+
+    def __init__(self, phase_array: bool, setup_cycles: int):
+        self.queue: deque[Packet] = deque()
+        self.retx: list[_RetxEntry] = []
+        self.opa = PhaseArray(setup_cycles) if phase_array else None
+        self.retx_seq = 0
+
+
+class FsoiNetwork(Interconnect):
+    """Cycle-accurate model of the free-space optical interconnect."""
+
+    def __init__(self, config: FsoiConfig, rng: RngHub | None = None):
+        super().__init__(config.num_nodes)
+        self.config = config
+        self.lanes = config.lanes
+        rng = rng if rng is not None else RngHub(config.seed)
+        self._backoff_rng = rng.stream("fsoi.backoff")
+        self._error_rng = rng.stream("fsoi.errors")
+        self._hint_rng = rng.stream("fsoi.hints")
+
+        self._state: dict[LaneKind, list[_LaneState]] = {
+            lane: [
+                _LaneState(config.phase_array, config.phase_setup_cycles)
+                for _ in range(config.num_nodes)
+            ]
+            for lane in (LaneKind.META, LaneKind.DATA)
+        }
+        self.confirmations = ConfirmationChannel(
+            config.num_nodes, delay=config.lanes.confirmation_delay
+        )
+        self._calendar: dict[int, list] = {}
+        self._reservations = [SlotReservations() for _ in range(config.num_nodes)]
+        self._expected = [ExpectedReplies() for _ in range(config.num_nodes)]
+        # Unslotted mode: per-(node, lane) transmitter busy horizon and
+        # per-(dst, lane, receiver) in-flight transmissions
+        # [(end_cycle, packet), ...] for overlap-collision detection.
+        self._tx_busy_until: dict[tuple[int, LaneKind], int] = {}
+        self._inflight: dict[tuple[int, LaneKind, int], list] = {}
+
+        stats = self.stats.group
+        self._lane_stats = {}
+        for lane in (LaneKind.META, LaneKind.DATA):
+            group = stats.group(lane.value)
+            self._lane_stats[lane] = {
+                "tx": group.counter("transmissions"),
+                "collided_tx": group.counter("collided_transmissions"),
+                "collision_events": group.counter("collision_events"),
+                "error_tx": group.counter("error_corrupted"),
+                "slots": group.counter("slots_elapsed"),
+            }
+        data_group = stats.group(LaneKind.DATA.value)
+        self._data_collision_types = {
+            kind: data_group.counter(f"collisions_{kind}")
+            for kind in ("memory", "writeback", "retransmission", "reply", "other")
+        }
+        self._hint_stats = {
+            "issued": stats.counter("hints_issued"),
+            "correct": stats.counter("hints_correct"),
+            "wrong_winner": stats.counter("hints_wrong_winner"),
+            "ignored": stats.counter("hints_ignored"),
+        }
+        self._spacing_delays = stats.latency("spacing_delay_inserted")
+        # Resolution delay measured only over packets that collided —
+        # the quantity Figure 4's numerical model predicts.
+        self._resolution_collided = {
+            lane: stats.group(lane.value).latency("resolution_among_collided")
+            for lane in (LaneKind.META, LaneKind.DATA)
+        }
+
+    # ------------------------------------------------------------------
+    # Interconnect interface
+    # ------------------------------------------------------------------
+
+    def can_accept(self, node: int, lane: LaneKind) -> bool:
+        self._check_node(node)
+        return len(self._state[lane][node].queue) < self.lanes.queue_capacity
+
+    def try_send(self, packet: Packet, cycle: int) -> bool:
+        self._check_node(packet.src)
+        self._check_node(packet.dst)
+        state = self._state[packet.lane][packet.src]
+        if len(state.queue) >= self.lanes.queue_capacity:
+            self.stats.refused.add()
+            return False
+        packet.enqueue_cycle = cycle
+        spacing = 0
+        if (
+            self.config.optimizations.request_spacing
+            and packet.lane is LaneKind.META
+            and packet.expects_data_reply
+        ):
+            spacing = self._reserve_reply_slot(packet.src, cycle)
+            self._spacing_delays.record(spacing)
+        packet.scheduled_cycle = cycle + spacing
+        if packet.expects_data_reply:
+            # The requester will await a data packet from the destination
+            # (or whoever it forwards to); used by the resolution hint.
+            self._expected[packet.src].expect(packet.dst)
+        state.queue.append(packet)
+        self.stats.sent.add()
+        return True
+
+    def tick(self, cycle: int) -> None:
+        self.confirmations.tick(cycle)
+        for action in self._calendar.pop(cycle, ()):  # scheduled outcomes
+            action()
+        for lane in (LaneKind.META, LaneKind.DATA):
+            if not self.config.slotted:
+                self._start_unslotted(lane, cycle)
+            elif self.lanes.slot_aligned(cycle, lane):
+                self._start_slot(lane, cycle)
+
+    def quiescent(self) -> bool:
+        if self._calendar or self.confirmations.pending():
+            return False
+        for lane_states in self._state.values():
+            for state in lane_states:
+                if state.queue or state.retx:
+                    return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Slot processing
+    # ------------------------------------------------------------------
+
+    def _start_slot(self, lane: LaneKind, cycle: int) -> None:
+        lane_stats = self._lane_stats[lane]
+        lane_stats["slots"].add()
+        slot_len = self.lanes.slot_cycles(lane)
+
+        # Gather this slot's transmissions: one per node, retransmissions
+        # take priority over fresh queue heads (they are older traffic).
+        sends: list[tuple[Packet, int]] = []
+        for node in range(self.num_nodes):
+            state = self._state[lane][node]
+            packet = self._pick_transmission(state, cycle)
+            if packet is None:
+                continue
+            if packet.first_tx_cycle < 0:
+                packet.first_tx_cycle = cycle
+            setup = state.opa.steer(packet.dst) if state.opa is not None else 0
+            sends.append((packet, setup))
+            lane_stats["tx"].add()
+            self.stats.bits_sent.add(packet.bits)
+
+        if not sends:
+            return
+
+        # Group by (destination, receiver) — the static sender partition.
+        groups: dict[tuple[int, int], list[tuple[Packet, int]]] = {}
+        for packet, setup in sends:
+            receiver = self.lanes.receiver_for(
+                lane, packet.src, packet.dst, self.num_nodes
+            )
+            groups.setdefault((packet.dst, receiver), []).append((packet, setup))
+
+        for (dst, _receiver), members in groups.items():
+            if len(members) == 1:
+                self._handle_solo(lane, cycle, slot_len, members[0])
+            else:
+                self._handle_collision(lane, cycle, slot_len, dst, members)
+
+    def _start_unslotted(self, lane: LaneKind, cycle: int) -> None:
+        """§4.3.2 ablation: pure-ALOHA transmission (no slot alignment).
+
+        A node starts transmitting the moment its serializer is free;
+        two transmissions collide when they *overlap in time* at the
+        same receiver — the vulnerable window is twice a packet length,
+        which is exactly what slotting halves (paper ref [40]).
+        """
+        lane_stats = self._lane_stats[lane]
+        slot_len = self.lanes.slot_cycles(lane)
+        if cycle % slot_len == 0:
+            lane_stats["slots"].add()  # keep load normalization comparable
+        conf_delay = self.confirmations.delay
+
+        for node in range(self.num_nodes):
+            if self._tx_busy_until.get((node, lane), 0) > cycle:
+                continue
+            state = self._state[lane][node]
+            packet = self._pick_transmission(state, cycle)
+            if packet is None:
+                continue
+            if packet.first_tx_cycle < 0:
+                packet.first_tx_cycle = cycle
+            setup = state.opa.steer(packet.dst) if state.opa is not None else 0
+            self._tx_busy_until[(node, lane)] = cycle + slot_len
+            lane_stats["tx"].add()
+            self.stats.bits_sent.add(packet.bits)
+
+            key = (
+                packet.dst,
+                lane,
+                self.lanes.receiver_for(lane, packet.src, packet.dst, self.num_nodes),
+            )
+            active = [
+                entry for entry in self._inflight.get(key, []) if entry[0] > cycle
+            ]
+            end = cycle + slot_len
+            if not active:
+                self._inflight[key] = [(end, packet)]
+                self._succeed_unslotted(lane, cycle, slot_len, packet, setup)
+                continue
+
+            # Overlap collision: corrupt everything still in the air.
+            lane_stats["collision_events"].add()
+            if lane is LaneKind.DATA:
+                self._data_collision_types[
+                    self._classify([packet] + [p for _e, p in active])
+                ].add()
+            for _end, other in active:
+                if getattr(other, "_corrupted", False):
+                    continue
+                other._corrupted = True
+                other.retries += 1
+                lane_stats["collided_tx"].add()
+                detect = max(cycle + 1, _end - 1 + conf_delay + 1)
+                self._schedule(
+                    detect, lambda p=other, d=detect: self._back_off(lane, p, d)
+                )
+            packet._corrupted = True
+            packet.retries += 1
+            lane_stats["collided_tx"].add()
+            detect = cycle + slot_len - 1 + conf_delay + 1
+            self._schedule(
+                detect, lambda p=packet, d=detect: self._back_off(lane, p, d)
+            )
+            active.append((end, packet))
+            self._inflight[key] = active
+
+    def _succeed_unslotted(
+        self, lane: LaneKind, cycle: int, slot_len: int, packet: Packet, setup: int
+    ) -> None:
+        """Provisional success: delivery fires unless a later-starting
+        transmission overlaps and corrupts this one mid-flight."""
+        packet._corrupted = False
+        receive_cycle = cycle + slot_len - 1 + setup
+        deliver_cycle = receive_cycle + self.config.rx_overhead
+
+        def deliver() -> None:
+            if not packet._corrupted:
+                packet.final_tx_cycle = cycle
+                self._deliver(packet, deliver_cycle)
+
+        self._schedule(deliver_cycle, deliver)
+        hook = packet.on_confirmed
+
+        def confirm() -> None:
+            if not packet._corrupted and hook is not None:
+                hook()
+
+        self.confirmations.send_confirmation(receive_cycle, confirm)
+
+    def _pick_transmission(self, state: _LaneState, cycle: int) -> Packet | None:
+        due = [e for e in state.retx if e.release <= cycle]
+        if due:
+            entry = min(due, key=lambda e: (e.release, e.seq))
+            state.retx.remove(entry)
+            return entry.packet
+        if state.queue and state.queue[0].scheduled_cycle <= cycle:
+            return state.queue.popleft()
+        return None
+
+    # ------------------------------------------------------------------
+    # Outcomes
+    # ------------------------------------------------------------------
+
+    def _handle_solo(
+        self, lane: LaneKind, cycle: int, slot_len: int, member: tuple[Packet, int]
+    ) -> None:
+        packet, setup = member
+        if (
+            self.config.packet_error_rate > 0.0
+            and self._error_rng.random() < self.config.packet_error_rate
+        ):
+            # A signaling error corrupts the packet; the sender sees a
+            # missing confirmation, exactly like a collision (§4.3.1).
+            self._lane_stats[lane]["error_tx"].add()
+            packet.retries += 1
+            receive_cycle = cycle + slot_len - 1 + setup
+            detect = receive_cycle + self.confirmations.delay + 1
+            self._schedule(detect, lambda: self._back_off(lane, packet, detect))
+            return
+        self._succeed(lane, cycle, slot_len, packet, setup)
+
+    def _succeed(
+        self, lane: LaneKind, cycle: int, slot_len: int, packet: Packet, setup: int
+    ) -> None:
+        packet.final_tx_cycle = cycle
+        if packet.retries > 0:
+            self._resolution_collided[lane].record(
+                packet.final_tx_cycle - packet.first_tx_cycle
+            )
+        receive_cycle = cycle + slot_len - 1 + setup
+        deliver_cycle = receive_cycle + self.config.rx_overhead
+        self._schedule(deliver_cycle, lambda: self._deliver(packet, deliver_cycle))
+        # The confirmation arrives back at the sender two cycles after
+        # reception; §5.1 consumers hook it via packet.on_confirmed.
+        callback = packet.on_confirmed if packet.on_confirmed is not None else _noop
+        self.confirmations.send_confirmation(receive_cycle, callback)
+        if lane is LaneKind.DATA and self._expected[packet.dst].is_expected(packet.src):
+            self._expected[packet.dst].fulfil(packet.src)
+
+    def _handle_collision(
+        self,
+        lane: LaneKind,
+        cycle: int,
+        slot_len: int,
+        dst: int,
+        members: list[tuple[Packet, int]],
+    ) -> None:
+        lane_stats = self._lane_stats[lane]
+        lane_stats["collision_events"].add()
+        lane_stats["collided_tx"].add(len(members))
+        packets = [packet for packet, _setup in members]
+        if lane is LaneKind.DATA:
+            self._data_collision_types[self._classify(packets)].add()
+
+        use_hints = (
+            lane is LaneKind.DATA and self.config.optimizations.resolution_hints
+        )
+        winner: Packet | None = None
+        if use_hints:
+            winner = self._issue_hint(cycle, slot_len, dst, packets)
+
+        for packet in packets:
+            packet.retries += 1
+            if packet is winner:
+                continue  # handled inside _issue_hint
+            if use_hints:
+                # Losers learn from the *absence* of the no-collision
+                # notification right after the header and skip the next
+                # slot (§5.2): back-off counted from the slot after next.
+                detect = cycle + 1 + self.confirmations.delay
+                base = cycle + 2 * slot_len
+            else:
+                receive_cycle = cycle + slot_len - 1
+                detect = receive_cycle + self.confirmations.delay + 1
+                base = detect
+            self._schedule(
+                detect,
+                lambda p=packet, b=base: self._back_off(lane, p, b),
+            )
+
+    def _classify(self, packets: list[Packet]) -> str:
+        """Figure 10's data-collision taxonomy (priority order)."""
+        if any(p.is_memory for p in packets):
+            return "memory"
+        if any(p.is_writeback for p in packets):
+            return "writeback"
+        if any(p.retries > 0 for p in packets):
+            return "retransmission"
+        if all(p.is_reply_to_request for p in packets):
+            return "reply"
+        return "other"
+
+    def _back_off(self, lane: LaneKind, packet: Packet, base_cycle: int) -> None:
+        """Queue ``packet`` for retransmission after a random back-off."""
+        slot_len = self.lanes.slot_cycles(lane)
+        draw = self.config.backoff.draw_delay_slots(self._backoff_rng, packet.retries)
+        if self.config.slotted:
+            base = self.lanes.next_slot_start(base_cycle, lane)
+        else:
+            base = base_cycle  # pure ALOHA: any cycle may start a retry
+        release = base + (draw - 1) * slot_len
+        state = self._state[lane][packet.src]
+        state.retx_seq += 1
+        state.retx.append(_RetxEntry(release, state.retx_seq, packet))
+
+    # ------------------------------------------------------------------
+    # §5.2 optimizations
+    # ------------------------------------------------------------------
+
+    def _issue_hint(
+        self, cycle: int, slot_len: int, dst: int, packets: list[Packet]
+    ) -> Packet | None:
+        """The receiver guesses the colliders and grants one the next slot.
+
+        Returns the packet that actually gets the fast retransmission
+        (None when the chosen winner was not a true collider).
+        """
+        if self.config.one_hot_pid:
+            # Footnote 7: the bit-vector encoding decodes exactly.
+            merged = merged_one_hot((p.src for p in packets), self.num_nodes)
+            candidates = one_hot_senders(merged, self.num_nodes)
+        else:
+            pid, pidc = merged_header(
+                (p.src for p in packets), id_bits=self.config.id_bits
+            )
+            assert collision_detected(pid, pidc)
+            others = [n for n in range(self.num_nodes) if n != dst]
+            candidates = candidate_senders(pid, pidc, others, self.config.id_bits)
+        expected = self._expected[dst].expected_nodes()
+        narrowed = [c for c in candidates if c in expected] or candidates
+        chosen = int(narrowed[self._hint_rng.integers(0, len(narrowed))])
+        self._hint_stats["issued"].add()
+
+        actual = {p.src: p for p in packets}
+        if chosen in actual:
+            self._hint_stats["correct"].add()
+            winner = actual[chosen]
+            winner.retries += 1
+            state = self._state[LaneKind.DATA][winner.src]
+            state.retx_seq += 1
+            state.retx.append(
+                _RetxEntry(cycle + slot_len, state.retx_seq, winner)
+            )
+            return winner
+        # Mis-identified: if that node happens to have a backed-off data
+        # packet it wrongly jumps into the next slot; otherwise it simply
+        # ignores the notification (paper §7.3).
+        state = self._state[LaneKind.DATA][chosen]
+        if state.retx:
+            self._hint_stats["wrong_winner"].add()
+            entry = min(state.retx, key=lambda e: (e.release, e.seq))
+            entry.release = cycle + slot_len
+        else:
+            self._hint_stats["ignored"].add()
+        return None
+
+    def expect_data_from(self, dst: int, src: int) -> None:
+        """Register that ``dst`` anticipates a data packet from ``src``.
+
+        Used by §5.2's split-transaction writebacks: the WB announcement
+        tells the home node to expect the data packet, sharpening the
+        resolution hint's candidate set.
+        """
+        self._check_node(dst)
+        self._check_node(src)
+        self._expected[dst].expect(src)
+
+    def _reserve_reply_slot(self, node: int, cycle: int) -> int:
+        """Request spacing: returns the cycles to delay the request by."""
+        slot_len = self.lanes.slot_cycles(LaneKind.DATA)
+        table = self._reservations[node]
+        table.prune(cycle // slot_len)
+        predicted_slot = (cycle + self.config.reply_latency_estimate) // slot_len
+        free_slot = table.next_free(predicted_slot)
+        table.reserve(free_slot)
+        return (free_slot - predicted_slot) * slot_len
+
+    # ------------------------------------------------------------------
+    # Internals & reporting
+    # ------------------------------------------------------------------
+
+    def _schedule(self, cycle: int, action) -> None:
+        self._calendar.setdefault(cycle, []).append(action)
+
+    def transmission_probability(self, lane: LaneKind) -> float:
+        """Measured per-node, per-slot transmission probability."""
+        stats = self._lane_stats[lane]
+        slots = int(stats["slots"])
+        if slots == 0:
+            return 0.0
+        return int(stats["tx"]) / (slots * self.num_nodes)
+
+    def collision_rate(self, lane: LaneKind) -> float:
+        """Fraction of transmissions corrupted by a collision."""
+        stats = self._lane_stats[lane]
+        tx = int(stats["tx"])
+        return int(stats["collided_tx"]) / tx if tx else 0.0
+
+    def mean_resolution_delay(self, lane: LaneKind) -> float:
+        """Mean collision-resolution delay over collided packets, cycles.
+
+        The execution-driven counterpart of Figure 4's numerical model
+        (§4.3.2: "the computed delay is 7.26 cycles and the simulated
+        result is between 6.8 and 9.6").
+        """
+        return self._resolution_collided[lane].mean
+
+    def collision_events_per_node_slot(self, lane: LaneKind) -> float:
+        """Collision events per node per slot — Figure 3's P_coll."""
+        stats = self._lane_stats[lane]
+        slots = int(stats["slots"])
+        if slots == 0:
+            return 0.0
+        return int(stats["collision_events"]) / (slots * self.num_nodes)
+
+    def data_collision_breakdown(self) -> dict[str, int]:
+        """Figure 10's collision-event counts by type."""
+        return {k: int(v) for k, v in self._data_collision_types.items()}
+
+    def hint_summary(self) -> dict[str, int]:
+        return {k: int(v) for k, v in self._hint_stats.items()}
+
+    def phase_array_summary(self) -> dict[str, float]:
+        """Aggregate OPA steering behaviour (empty for dedicated arrays)."""
+        if not self.config.phase_array:
+            return {}
+        sends = retargets = 0
+        for lane_states in self._state.values():
+            for state in lane_states:
+                if state.opa is not None:
+                    sends += state.opa.sends
+                    retargets += state.opa.retargets
+        return {
+            "sends": sends,
+            "retargets": retargets,
+            "retarget_fraction": retargets / sends if sends else 0.0,
+        }

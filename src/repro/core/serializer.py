@@ -1,0 +1,137 @@
+"""Serializer / deserializer for the optical lanes (paper §4.2, Table 3).
+
+The digital side of Figure 2: a lane of ``V`` VCSELs each carrying 12
+bits per 3.3 GHz core cycle (40 Gbps / 3.3 GHz) moves ``12 V`` bits per
+cycle.  The serializer slices a packet's bits across the VCSELs frame
+by frame; the deserializer reassembles them.  Two paper details are
+modeled exactly:
+
+* **skew padding** (§4.2 fn. 2): path-length differences between node
+  pairs are up to tens of ps ~ a few bit times; the serializer prepends
+  that many padding bits so every lane appears chip-synchronous;
+* **mini-cycles** (§5.1): the 12 bit positions within a core cycle are
+  individually addressable — the confirmation channel's reservation
+  unit.
+
+This module is deliberately *data-faithful*: tests push actual bit
+patterns through serialize -> frames -> deserialize and demand identity.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["LaneSerializer", "LaneDeserializer", "mini_cycle_of"]
+
+
+def mini_cycle_of(bit_index: int, bits_per_cycle: int = 12) -> tuple[int, int]:
+    """(core cycle, mini-cycle) of a bit position on a 1-bit lane.
+
+    >>> mini_cycle_of(0)
+    (0, 0)
+    >>> mini_cycle_of(25)
+    (2, 1)
+    """
+    if bit_index < 0:
+        raise ValueError(f"negative bit index: {bit_index}")
+    if bits_per_cycle < 1:
+        raise ValueError(f"bits per cycle must be >= 1: {bits_per_cycle}")
+    return bit_index // bits_per_cycle, bit_index % bits_per_cycle
+
+
+@dataclass(frozen=True)
+class LaneSerializer:
+    """Slices packet payloads across a lane's VCSELs.
+
+    Parameters
+    ----------
+    vcsels:
+        Lane width (Table 3: 3 meta, 6 data).
+    bits_per_cycle:
+        Bits per VCSEL per core cycle (12 at 40 Gbps / 3.3 GHz).
+    padding_bits:
+        Skew-compensation bits prepended to every frame stream (§4.2
+        fn. 2); zeros, stripped by the deserializer.
+    """
+
+    vcsels: int = 3
+    bits_per_cycle: int = 12
+    padding_bits: int = 0
+
+    def __post_init__(self) -> None:
+        if self.vcsels < 1 or self.bits_per_cycle < 1:
+            raise ValueError("lane needs >= 1 VCSEL and >= 1 bit/cycle")
+        if self.padding_bits < 0:
+            raise ValueError(f"negative padding: {self.padding_bits}")
+
+    @property
+    def bits_per_frame(self) -> int:
+        """Bits the lane moves in one core cycle."""
+        return self.vcsels * self.bits_per_cycle
+
+    def cycles_for(self, num_bits: int) -> int:
+        """Serialization latency for a payload, core cycles.
+
+        >>> LaneSerializer(vcsels=3).cycles_for(72)   # meta packet
+        2
+        >>> LaneSerializer(vcsels=6).cycles_for(360)  # data packet
+        5
+        """
+        if num_bits < 1:
+            raise ValueError(f"empty payload: {num_bits}")
+        return math.ceil((num_bits + self.padding_bits) / self.bits_per_frame)
+
+    def serialize(self, payload: int, num_bits: int) -> list[list[int]]:
+        """Frames of per-VCSEL bit words, LSB first.
+
+        Returns ``frames[cycle][vcsel]`` — each entry a
+        ``bits_per_cycle``-bit integer.  Bit ``i`` of the payload lands
+        on VCSEL ``(i + pad) // bits_per_cycle mod V`` — round-robin by
+        mini-cycle groups, matching a simple mux tree.
+        """
+        if num_bits < 1:
+            raise ValueError(f"empty payload: {num_bits}")
+        if payload < 0 or payload >= (1 << num_bits):
+            raise ValueError(f"payload does not fit in {num_bits} bits")
+        stream = payload << self.padding_bits  # zero padding in front
+        total_bits = num_bits + self.padding_bits
+        frames: list[list[int]] = []
+        mask = (1 << self.bits_per_cycle) - 1
+        position = 0
+        while position < total_bits:
+            frame = []
+            for _vcsel in range(self.vcsels):
+                frame.append((stream >> position) & mask)
+                position += self.bits_per_cycle
+            frames.append(frame)
+        return frames
+
+
+@dataclass
+class LaneDeserializer:
+    """Reassembles frames emitted by a matching :class:`LaneSerializer`."""
+
+    serializer: LaneSerializer
+
+    def deserialize(self, frames: list[list[int]], num_bits: int) -> int:
+        """Recover the payload; raises on malformed frame shapes."""
+        config = self.serializer
+        stream = 0
+        position = 0
+        for index, frame in enumerate(frames):
+            if len(frame) != config.vcsels:
+                raise ValueError(
+                    f"frame {index} has {len(frame)} words, lane has "
+                    f"{config.vcsels} VCSELs"
+                )
+            for word in frame:
+                if word < 0 or word >= (1 << config.bits_per_cycle):
+                    raise ValueError(f"frame {index} word out of range")
+                stream |= word << position
+                position += config.bits_per_cycle
+        payload = stream >> config.padding_bits  # strip skew padding
+        mask = (1 << num_bits) - 1
+        if payload >> num_bits:
+            raise ValueError("non-zero bits beyond the payload width")
+        return payload & mask

@@ -1,0 +1,16 @@
+"""Corona-style shared-medium optical interconnect baseline.
+
+The paper compares FSOI against "a corona-style design" (§7.1; refs
+[18, 61]): a waveguided, wavelength-routed optical crossbar in which
+each *destination* owns a shared multiple-writer single-reader channel,
+and senders acquire the right to write via **optical token-ring
+arbitration** — a token per channel circulates the ring of nodes; a
+sender must wait for, seize, hold (for the duration of its transfer)
+and then release the token.  FSOI's advantage over it comes from not
+waiting for arbitration at all; the paper reports FSOI is ~1.06x faster
+in the 64-way system.
+"""
+
+from repro.corona.network import CoronaConfig, CoronaNetwork
+
+__all__ = ["CoronaConfig", "CoronaNetwork"]

@@ -1,0 +1,26 @@
+"""CPU-side substrate: caches, cores, memory controllers, synchronization.
+
+The paper models DEC Alpha 21264 out-of-order cores in an adapted
+SimpleScalar.  Per DESIGN.md's substitution table, we model the *memory
+side* of the core faithfully (L1 arrays and MSHRs, blocking behaviour of
+dependent misses, address-interleaved bandwidth-limited memory
+controllers, ll/sc-style lock and barrier episodes) and abstract the
+pipeline into a configurable non-memory IPC — the interconnect results
+depend on the request process, not on the pipeline internals.
+"""
+
+from repro.util.cache import CacheArray
+from repro.cpu.core import Core, CoreConfig
+from repro.cpu.memctrl import MemoryController, MemoryConfig
+from repro.cpu.mshr import MshrFile
+from repro.cpu.sync import SyncManager
+
+__all__ = [
+    "CacheArray",
+    "Core",
+    "CoreConfig",
+    "MemoryController",
+    "MemoryConfig",
+    "MshrFile",
+    "SyncManager",
+]

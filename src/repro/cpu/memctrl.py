@@ -1,0 +1,117 @@
+"""Address-interleaved, bandwidth-limited memory controllers.
+
+Table 3: 200-cycle memory latency, 4 channels in the 16-node system and
+8 in the 64-node system; Table 4 studies 8.8 GB/s versus 52.8 GB/s of
+channel bandwidth.  Each controller owns one channel: requests queue,
+the channel is occupied for ``line_bytes / bytes_per_cycle`` per
+transfer, and a read's data returns ``latency`` cycles plus queuing
+after arrival.  Controllers are non-blocking (any number of requests may
+be queued) — the bound is bandwidth, not concurrency.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.coherence.messages import CoherenceMessage, MsgType
+from repro.util.stats import StatGroup
+
+__all__ = ["MemoryConfig", "MemoryController"]
+
+
+@dataclass(frozen=True)
+class MemoryConfig:
+    """One channel's parameters.
+
+    ``bandwidth_bytes_per_cycle`` derives from GB/s at the 3.3 GHz core
+    clock: 8.8 GB/s ~ 2.67 B/cycle; 52.8 GB/s ~ 16 B/cycle.
+    """
+
+    latency: int = 200
+    bandwidth_bytes_per_cycle: float = 8.8 / 3.3
+    line_bytes: int = 32
+
+    @classmethod
+    def from_gbps(cls, gbytes_per_second: float, core_ghz: float = 3.3,
+                  latency: int = 200, line_bytes: int = 32) -> "MemoryConfig":
+        """Build from a GB/s figure (Table 4: 8.8 or 52.8).
+
+        >>> MemoryConfig.from_gbps(8.8).occupancy_cycles
+        12
+        """
+        return cls(
+            latency=latency,
+            bandwidth_bytes_per_cycle=gbytes_per_second / core_ghz,
+            line_bytes=line_bytes,
+        )
+
+    @property
+    def occupancy_cycles(self) -> int:
+        """Channel cycles consumed per line transfer."""
+        return max(1, math.ceil(self.line_bytes / self.bandwidth_bytes_per_cycle))
+
+
+class MemoryController:
+    """One memory channel attached to a node.
+
+    Driven by :meth:`handle` (MEM_READ / MEM_WRITE messages) and
+    :meth:`tick`; replies (MEM_ACK) go out through the supplied ``send``.
+    """
+
+    def __init__(
+        self,
+        node: int,
+        send: Callable[[CoherenceMessage, int], None],
+        config: Optional[MemoryConfig] = None,
+        stats: Optional[StatGroup] = None,
+    ):
+        self.node = node
+        self.send = send
+        self.config = config or MemoryConfig()
+        self._queue: deque[CoherenceMessage] = deque()
+        self._busy_until = 0
+        stats = stats or StatGroup(f"mem.{node}")
+        self.stats = stats
+        self.reads = stats.counter("reads")
+        self.writes = stats.counter("writes")
+        self.queue_wait = stats.latency("queue_wait")
+        self._arrival: dict[int, int] = {}
+
+    def handle(self, msg: CoherenceMessage, cycle: int) -> None:
+        if msg.mtype not in (MsgType.MEM_READ, MsgType.MEM_WRITE):
+            raise ValueError(f"memory controller got {msg}")
+        self._arrival[msg.uid] = cycle
+        self._queue.append(msg)
+
+    def tick(self, cycle: int) -> None:
+        """Start the next transfer when the channel frees up."""
+        if not self._queue or self._busy_until > cycle:
+            return
+        msg = self._queue.popleft()
+        self.queue_wait.record(cycle - self._arrival.pop(msg.uid))
+        self._busy_until = cycle + self.config.occupancy_cycles
+        if msg.mtype is MsgType.MEM_WRITE:
+            self.writes.add()
+            return  # fire-and-forget
+        self.reads.add()
+        reply_delay = self.config.latency + self.config.occupancy_cycles
+        self.send(
+            CoherenceMessage(
+                mtype=MsgType.MEM_ACK,
+                line=msg.line,
+                sender=self.node,
+                dest=msg.sender,
+                requester=msg.requester,
+            ),
+            reply_delay,
+        )
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)
+
+    def quiescent(self, cycle: int) -> bool:
+        return not self._queue and self._busy_until <= cycle

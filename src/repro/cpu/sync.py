@@ -1,0 +1,121 @@
+"""Synchronization coordination: barriers and ll/sc-style locks.
+
+The *traffic* of synchronization flows through the real coherence
+protocol — spinning cores hold the sync line in S, an arrival/release
+write invalidates them all at once, and the re-reads come back as a
+burst of requests and replies (the "quasi-synchronized" packets of
+Figure 9).  What this module adds is the *semantics* the paper's
+binaries would provide: which write ends a barrier episode, who owns a
+contended lock, and who must retry.
+
+With §5.1's ll/sc subscription enabled, spinners do not spin at all:
+they subscribe (a reserved confirmation mini-cycle at the home
+directory) and block until the release arrives as a one-bit
+confirmation-channel signal — the CMP adapter wires
+:attr:`SyncManager.signal_release` to the FSOI confirmation channel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+__all__ = ["SyncManager", "SYNC_LINE_BASE"]
+
+#: Synchronization variables live in their own address region so they
+#: never alias workload data lines.
+SYNC_LINE_BASE = 1 << 40
+
+
+@dataclass
+class _LockState:
+    holder: int = -1
+    generation: int = 0
+    waiters: set[int] = field(default_factory=set)
+
+
+class SyncManager:
+    """Global coordinator for one CMP's barrier and lock episodes."""
+
+    def __init__(self, num_nodes: int, subscription: bool = False):
+        self.num_nodes = num_nodes
+        self.subscription = subscription
+        #: Hooks the CMP system installs to deliver §5.1 release signals
+        #: over the confirmation channel (subscription mode).
+        self.on_barrier_release: Optional[Callable[[int], None]] = None
+        self.on_lock_release: Optional[Callable[[int, list[int]], None]] = None
+        self._barrier_epoch = 0
+        self._barrier_arrived: set[int] = set()
+        self._locks: dict[int, _LockState] = {}
+        self.barriers_completed = 0
+        self.lock_acquisitions = 0
+        self.lock_retries = 0
+
+    # -- addresses ---------------------------------------------------------
+
+    @staticmethod
+    def barrier_line() -> int:
+        return SYNC_LINE_BASE
+
+    @staticmethod
+    def lock_line(lock_id: int) -> int:
+        return SYNC_LINE_BASE + 1 + lock_id
+
+    # -- barriers ------------------------------------------------------------
+
+    def barrier_arrive(self, node: int) -> int:
+        """Register arrival; returns the epoch the node is waiting on."""
+        epoch = self._barrier_epoch
+        self._barrier_arrived.add(node)
+        if len(self._barrier_arrived) == self.num_nodes:
+            self._barrier_arrived.clear()
+            self._barrier_epoch += 1
+            self.barriers_completed += 1
+            if self.on_barrier_release is not None:
+                self.on_barrier_release(epoch)
+        return epoch
+
+    def barrier_released(self, epoch: int) -> bool:
+        return self._barrier_epoch > epoch
+
+    # -- locks -----------------------------------------------------------------
+
+    def _lock(self, lock_id: int) -> _LockState:
+        state = self._locks.get(lock_id)
+        if state is None:
+            state = _LockState()
+            self._locks[lock_id] = state
+        return state
+
+    def try_acquire(self, lock_id: int, node: int) -> bool:
+        """Attempt the store-conditional; True when the lock is taken."""
+        state = self._lock(lock_id)
+        if state.holder == -1:
+            state.holder = node
+            state.waiters.discard(node)
+            self.lock_acquisitions += 1
+            return True
+        state.waiters.add(node)
+        self.lock_retries += 1
+        return False
+
+    def release(self, lock_id: int, node: int) -> list[int]:
+        """Release; returns the waiters to notify (they retry acquire)."""
+        state = self._lock(lock_id)
+        if state.holder != node:
+            raise RuntimeError(
+                f"node {node} released lock {lock_id} held by {state.holder}"
+            )
+        state.holder = -1
+        state.generation += 1
+        waiters = sorted(state.waiters)
+        state.waiters.clear()
+        if self.on_lock_release is not None:
+            self.on_lock_release(lock_id, waiters)
+        return waiters
+
+    def lock_generation(self, lock_id: int) -> int:
+        return self._lock(lock_id).generation
+
+    def holder(self, lock_id: int) -> int:
+        return self._lock(lock_id).holder

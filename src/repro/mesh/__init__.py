@@ -1,0 +1,28 @@
+"""The conventional electrical packet-switched mesh baseline.
+
+The paper's baseline interconnect (§6, Table 3): a k-ary 2-mesh of
+canonical 4-stage virtual-channel routers (4 VCs, 12-flit buffers,
+credit-based flow control, XY dimension-order routing), 72-bit flits,
+1-flit meta packets and 5-flit data packets, 4-cycle router latency plus
+1-cycle links.  Our model corresponds to the extended PopNet simulator
+the paper used.
+
+:mod:`repro.mesh.ideal` additionally provides the idealized comparison
+points of §7.1: **L0** (zero network latency, only serialization and
+source queuing), and **Lr1**/**Lr2** (per-hop 1-cycle link plus 1- or
+2-cycle router, no contention).
+"""
+
+from repro.mesh.ideal import IdealConfig, IdealNetwork
+from repro.mesh.network import MeshConfig, MeshNetwork
+from repro.mesh.routing import mesh_coordinates, mesh_hops, xy_route
+
+__all__ = [
+    "IdealConfig",
+    "IdealNetwork",
+    "MeshConfig",
+    "MeshNetwork",
+    "mesh_coordinates",
+    "mesh_hops",
+    "xy_route",
+]

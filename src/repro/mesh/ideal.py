@@ -1,0 +1,123 @@
+"""Idealized interconnect reference points (paper §7.1).
+
+Three configurations bound the conventional design space:
+
+* **L0** — transmission latency idealized to zero; a packet only pays
+  its serialization delay (1 cycle meta / 5 cycles data) and queuing at
+  the source node.  Only throughput is modeled: the source has one
+  outgoing channel that serializes one packet at a time.
+* **Lr1 / Lr2** — like L0 plus per-hop latency: 1 cycle link traversal
+  and 1 (Lr1) or 2 (Lr2) cycles of router processing per hop, with no
+  contention or delays inside the network.
+
+These are *loose upper bounds* on what aggressively designed routers
+could achieve, as the paper stresses.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.mesh.routing import mesh_hops, mesh_side
+from repro.net.interface import Interconnect
+from repro.net.packet import LaneKind, Packet
+
+__all__ = ["IdealConfig", "IdealNetwork"]
+
+
+@dataclass(frozen=True)
+class IdealConfig:
+    """Parameters of an idealized network.
+
+    ``router_cycles_per_hop = None`` gives L0 (no per-hop latency at
+    all); 1 gives Lr1; 2 gives Lr2.
+    """
+
+    num_nodes: int = 16
+    router_cycles_per_hop: int | None = None
+    link_cycles_per_hop: int = 1
+    serialization_meta: int = 1
+    serialization_data: int = 5
+    injection_queue: int = 64
+
+    @classmethod
+    def l0(cls, num_nodes: int = 16) -> "IdealConfig":
+        return cls(num_nodes=num_nodes, router_cycles_per_hop=None)
+
+    @classmethod
+    def lr1(cls, num_nodes: int = 16) -> "IdealConfig":
+        return cls(num_nodes=num_nodes, router_cycles_per_hop=1)
+
+    @classmethod
+    def lr2(cls, num_nodes: int = 16) -> "IdealConfig":
+        return cls(num_nodes=num_nodes, router_cycles_per_hop=2)
+
+    @property
+    def label(self) -> str:
+        if self.router_cycles_per_hop is None:
+            return "L0"
+        return f"Lr{self.router_cycles_per_hop}"
+
+
+class IdealNetwork(Interconnect):
+    """Contention-free network with per-source serialization throughput."""
+
+    def __init__(self, config: IdealConfig):
+        super().__init__(config.num_nodes)
+        self.config = config
+        self.side = mesh_side(config.num_nodes)
+        self._queues: list[deque[Packet]] = [deque() for _ in range(config.num_nodes)]
+        self._channel_free_at = [0] * config.num_nodes
+        self._deliveries: dict[int, list[Packet]] = {}
+
+    def can_accept(self, node, lane) -> bool:  # noqa: D102 - see base class
+        self._check_node(node)
+        return len(self._queues[node]) < self.config.injection_queue
+
+    def try_send(self, packet: Packet, cycle: int) -> bool:
+        self._check_node(packet.src)
+        self._check_node(packet.dst)
+        queue = self._queues[packet.src]
+        if len(queue) >= self.config.injection_queue:
+            self.stats.refused.add()
+            return False
+        packet.enqueue_cycle = cycle
+        packet.scheduled_cycle = cycle
+        queue.append(packet)
+        self.stats.sent.add()
+        self.stats.bits_sent.add(packet.bits)
+        return True
+
+    def tick(self, cycle: int) -> None:
+        for packet in self._deliveries.pop(cycle, ()):  # arrival order
+            self._deliver(packet, cycle)
+        for node in range(self.num_nodes):
+            self._pump(node, cycle)
+
+    def _pump(self, node: int, cycle: int) -> None:
+        """Start serializing the next packet when the channel is free."""
+        queue = self._queues[node]
+        if not queue or self._channel_free_at[node] > cycle:
+            return
+        packet = queue.popleft()
+        packet.first_tx_cycle = cycle
+        packet.final_tx_cycle = cycle
+        serialization = (
+            self.config.serialization_meta
+            if packet.lane is LaneKind.META
+            else self.config.serialization_data
+        )
+        self._channel_free_at[node] = cycle + serialization
+        latency = serialization + self._hop_latency(packet)
+        self._deliveries.setdefault(cycle + latency, []).append(packet)
+
+    def _hop_latency(self, packet: Packet) -> int:
+        if self.config.router_cycles_per_hop is None:
+            return 0
+        hops = mesh_hops(packet.src, packet.dst, self.side)
+        per_hop = self.config.link_cycles_per_hop + self.config.router_cycles_per_hop
+        return hops * per_hop
+
+    def quiescent(self) -> bool:
+        return not self._deliveries and not any(self._queues)

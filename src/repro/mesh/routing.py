@@ -1,0 +1,106 @@
+"""Mesh topology helpers and XY dimension-order routing.
+
+Nodes of a k-ary 2-mesh are numbered row-major: node ``i`` sits at
+``(x, y) = (i % k, i // k)``.  XY routing moves a packet fully along X
+first, then along Y — deterministic and deadlock-free on a mesh (no
+turn from Y back into X, so the channel-dependency graph is acyclic).
+"""
+
+from __future__ import annotations
+
+import math
+from enum import IntEnum
+
+__all__ = ["Port", "mesh_side", "mesh_coordinates", "mesh_hops", "xy_route"]
+
+
+class Port(IntEnum):
+    """Router ports.  LOCAL is the node's injection/ejection port."""
+
+    LOCAL = 0
+    EAST = 1
+    WEST = 2
+    NORTH = 3
+    SOUTH = 4
+
+
+def mesh_side(num_nodes: int) -> int:
+    """Side length k of a square mesh with ``num_nodes`` nodes.
+
+    >>> mesh_side(16)
+    4
+    """
+    k = int(round(math.sqrt(num_nodes)))
+    if k * k != num_nodes:
+        raise ValueError(f"mesh requires a square node count, got {num_nodes}")
+    return k
+
+
+def mesh_coordinates(node: int, side: int) -> tuple[int, int]:
+    """(x, y) position of ``node`` in a ``side`` x ``side`` mesh."""
+    if not 0 <= node < side * side:
+        raise ValueError(f"node {node} outside {side}x{side} mesh")
+    return node % side, node // side
+
+
+def mesh_hops(src: int, dst: int, side: int) -> int:
+    """Manhattan hop count between two nodes.
+
+    >>> mesh_hops(0, 15, 4)
+    6
+    """
+    sx, sy = mesh_coordinates(src, side)
+    dx, dy = mesh_coordinates(dst, side)
+    return abs(sx - dx) + abs(sy - dy)
+
+
+def xy_route(current: int, dst: int, side: int) -> Port:
+    """Output port to take at ``current`` toward ``dst`` under XY routing.
+
+    >>> xy_route(0, 3, 4)
+    <Port.EAST: 1>
+    >>> xy_route(3, 3, 4)
+    <Port.LOCAL: 0>
+    """
+    cx, cy = mesh_coordinates(current, side)
+    dx, dy = mesh_coordinates(dst, side)
+    if cx < dx:
+        return Port.EAST
+    if cx > dx:
+        return Port.WEST
+    if cy < dy:
+        return Port.SOUTH
+    if cy > dy:
+        return Port.NORTH
+    return Port.LOCAL
+
+
+def neighbor(node: int, port: Port, side: int) -> int:
+    """Node id one hop away through ``port``; raises at mesh edges."""
+    x, y = mesh_coordinates(node, side)
+    if port is Port.EAST:
+        x += 1
+    elif port is Port.WEST:
+        x -= 1
+    elif port is Port.SOUTH:
+        y += 1
+    elif port is Port.NORTH:
+        y -= 1
+    else:
+        raise ValueError("LOCAL port has no neighbor")
+    if not (0 <= x < side and 0 <= y < side):
+        raise ValueError(f"no neighbor through {port.name} from node {node}")
+    return y * side + x
+
+
+def opposite(port: Port) -> Port:
+    """The port a flit arrives on after leaving through ``port``."""
+    pairs = {
+        Port.EAST: Port.WEST,
+        Port.WEST: Port.EAST,
+        Port.NORTH: Port.SOUTH,
+        Port.SOUTH: Port.NORTH,
+    }
+    if port not in pairs:
+        raise ValueError("LOCAL port has no opposite")
+    return pairs[port]

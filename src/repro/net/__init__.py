@@ -1,0 +1,34 @@
+"""Shared interconnect abstractions.
+
+Every network model in the reproduction — the FSOI contribution
+(:mod:`repro.core`), the electrical mesh baseline (:mod:`repro.mesh`),
+the idealized L0/Lr1/Lr2 references (:mod:`repro.mesh.ideal`) and the
+corona-style shared-medium comparison (:mod:`repro.corona`) — implements
+the same small interface defined here, so the CMP simulator
+(:mod:`repro.cmp`) can swap interconnects without caring which one it is
+driving.
+
+Packets come in the paper's two sizes (Table 3): **meta** packets
+(72 bits / 1 flit: requests, acknowledgements, control) and **data**
+packets (360 bits / 5 flits: cache-line transfers).
+"""
+
+from repro.net.interface import DeliveryCallback, Interconnect, InterconnectStats
+from repro.net.packet import (
+    DATA_PACKET_BITS,
+    FLIT_BITS,
+    META_PACKET_BITS,
+    LaneKind,
+    Packet,
+)
+
+__all__ = [
+    "DeliveryCallback",
+    "Interconnect",
+    "InterconnectStats",
+    "Packet",
+    "LaneKind",
+    "FLIT_BITS",
+    "META_PACKET_BITS",
+    "DATA_PACKET_BITS",
+]

@@ -1,0 +1,136 @@
+"""The interconnect interface every network model implements.
+
+The CMP simulator drives a network exclusively through this interface:
+
+* :meth:`Interconnect.try_send` — offer a packet; the network may refuse
+  (finite source queues), in which case the caller stalls and retries.
+* a delivery callback per node, invoked when a packet arrives.
+* :meth:`Interconnect.tick` — advance one processor cycle.
+
+All networks stamp the packet timing fields and record the common
+:class:`InterconnectStats`, so the latency-breakdown and collision
+figures are produced identically regardless of the model.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Optional
+
+from repro.net.packet import LaneKind, Packet
+from repro.util.stats import StatGroup
+
+__all__ = ["DeliveryCallback", "InterconnectStats", "Interconnect"]
+
+DeliveryCallback = Callable[[Packet], None]
+
+
+class InterconnectStats:
+    """Common statistics every network records.
+
+    Latency components are recorded per delivered packet, split by lane,
+    matching the breakdown of Figures 6(a)/7(a).
+    """
+
+    def __init__(self) -> None:
+        self.group = StatGroup("interconnect")
+        self.sent = self.group.counter("packets_sent")
+        self.delivered = self.group.counter("packets_delivered")
+        self.refused = self.group.counter("send_refused")
+        self.bits_sent = self.group.counter("bits_sent")
+        self.queuing = self.group.latency("queuing_delay")
+        self.scheduling = self.group.latency("scheduling_delay")
+        self.network = self.group.latency("network_delay")
+        self.resolution = self.group.latency("resolution_delay")
+        self.total = self.group.latency("total_delay")
+
+    def record_delivery(self, packet: Packet) -> None:
+        self.delivered.add()
+        self.queuing.record(packet.queuing_delay)
+        self.scheduling.record(packet.scheduling_delay)
+        self.resolution.record(packet.resolution_delay)
+        self.network.record(packet.network_delay)
+        self.total.record(packet.total_delay)
+
+    def breakdown(self) -> dict[str, float]:
+        """Mean per-packet latency split into the paper's four components."""
+        return {
+            "queuing": self.queuing.mean,
+            "scheduling": self.scheduling.mean,
+            "network": self.network.mean,
+            "collision_resolution": self.resolution.mean,
+            "total": self.total.mean,
+        }
+
+
+class Interconnect(abc.ABC):
+    """Abstract base class for all network models."""
+
+    def __init__(self, num_nodes: int):
+        if num_nodes < 2:
+            raise ValueError(f"need at least 2 nodes: {num_nodes}")
+        self.num_nodes = num_nodes
+        self.stats = InterconnectStats()
+        self._callbacks: list[Optional[DeliveryCallback]] = [None] * num_nodes
+        self._traffic: dict[tuple[int, int], int] = {}
+
+    # -- wiring -----------------------------------------------------------
+
+    def set_delivery_callback(self, node: int, callback: DeliveryCallback) -> None:
+        """Install the function invoked when a packet arrives at ``node``."""
+        self._check_node(node)
+        self._callbacks[node] = callback
+
+    def _deliver(self, packet: Packet, cycle: int) -> None:
+        """Stamp delivery, record stats, invoke the destination callback."""
+        packet.deliver_cycle = cycle
+        self.stats.record_delivery(packet)
+        key = (packet.src, packet.dst)
+        self._traffic[key] = self._traffic.get(key, 0) + 1
+        callback = self._callbacks[packet.dst]
+        if callback is not None:
+            callback(packet)
+
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < self.num_nodes:
+            raise ValueError(f"node {node} out of range [0, {self.num_nodes})")
+
+    # -- the driving interface ---------------------------------------------
+
+    @abc.abstractmethod
+    def try_send(self, packet: Packet, cycle: int) -> bool:
+        """Offer ``packet`` to the network at ``cycle``.
+
+        Returns ``True`` if accepted (source queue had room); ``False``
+        means the caller must stall and retry later.
+        """
+
+    @abc.abstractmethod
+    def tick(self, cycle: int) -> None:
+        """Advance the network by one processor cycle."""
+
+    # -- conveniences -------------------------------------------------------
+
+    def can_accept(self, node: int, lane: LaneKind) -> bool:
+        """Whether a send from ``node`` on ``lane`` would currently succeed.
+
+        Default is optimistic; models with finite queues override this.
+        """
+        self._check_node(node)
+        return True
+
+    def traffic_matrix(self) -> list[list[int]]:
+        """Delivered-packet counts indexed [src][dst].
+
+        The communication pattern the run actually exercised — stencil
+        codes light up mesh-neighbour entries, butterfly codes the XOR
+        diagonals, sync-heavy codes the sync variables' home columns.
+        """
+        matrix = [[0] * self.num_nodes for _ in range(self.num_nodes)]
+        for (src, dst), count in self._traffic.items():
+            matrix[src][dst] = count
+        return matrix
+
+    def quiescent(self) -> bool:
+        """True when no packets are buffered or in flight (end-of-run drain)."""
+        return int(self.stats.sent) == int(self.stats.delivered)

@@ -1,0 +1,217 @@
+"""Network packet definition and the PID / ~PID collision-detection code.
+
+Packet sizes follow Table 3: a 72-bit flit; meta packets are one flit,
+data packets are five.  The FSOI header carries both the sender id (PID)
+and its bitwise complement (~PID).  When two or more optical packets
+collide at a receiver the photodetector sees the logical **OR** of the
+light pulses, so at least one bit position of the merged header has both
+PID and ~PID set — an impossible codeword that flags the collision
+(paper §4.3.2).
+
+The same OR-merge also yields the *candidate-sender superset* used by the
+data-lane collision-resolution hint (paper §5.2): any node whose PID is a
+bit-subset of the merged PID (and whose ~PID is a subset of the merged
+~PID) might have participated.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Iterable
+
+__all__ = [
+    "LaneKind",
+    "Packet",
+    "FLIT_BITS",
+    "META_PACKET_BITS",
+    "DATA_PACKET_BITS",
+    "merged_header",
+    "collision_detected",
+    "candidate_senders",
+    "merged_one_hot",
+    "one_hot_senders",
+]
+
+FLIT_BITS = 72
+META_PACKET_BITS = FLIT_BITS          # 1 flit
+DATA_PACKET_BITS = 5 * FLIT_BITS      # 5 flits
+
+_packet_ids = itertools.count()
+
+
+class LaneKind(str, Enum):
+    """Which lane (and therefore slot length) a packet travels on."""
+
+    META = "meta"
+    DATA = "data"
+
+    @property
+    def bits(self) -> int:
+        return META_PACKET_BITS if self is LaneKind.META else DATA_PACKET_BITS
+
+    @property
+    def flits(self) -> int:
+        return 1 if self is LaneKind.META else 5
+
+
+@dataclass
+class Packet:
+    """One network packet, as seen by any interconnect model.
+
+    Timing fields are stamped by the network that carries the packet and
+    feed the latency breakdown of Figures 6/7:
+
+    * ``enqueue_cycle`` — handed to the network (start of queuing delay).
+    * ``scheduled_cycle`` — when it becomes *eligible* to contend:
+      ``enqueue_cycle`` plus any intentional scheduling delay (request
+      spacing, §5.2).  The gap enqueue -> scheduled is the paper's
+      "scheduling delay"; scheduled -> first transmission is queuing
+      (waiting behind earlier packets and for a slot boundary).
+    * ``first_tx_cycle`` — first transmission attempt (collision
+      resolution time accrues from here to ``final_tx_cycle``).
+    * ``final_tx_cycle`` — start of the successful transmission.
+    * ``deliver_cycle`` — delivery at the destination.
+    """
+
+    src: int
+    dst: int
+    lane: LaneKind
+    payload: Any = None
+    is_reply_to_request: bool = False
+    is_writeback: bool = False
+    is_memory: bool = False
+    expects_data_reply: bool = False
+    #: Invoked (with no arguments) when the transmission's confirmation
+    #: arrives back at the sender.  Only FSOI has a confirmation channel;
+    #: other networks never call it.  Used by §5.1's
+    #: confirmation-as-acknowledgment optimization.
+    on_confirmed: Any = None
+    uid: int = field(default_factory=lambda: next(_packet_ids))
+
+    enqueue_cycle: int = -1
+    scheduled_cycle: int = -1
+    first_tx_cycle: int = -1
+    final_tx_cycle: int = -1
+    deliver_cycle: int = -1
+    retries: int = 0
+
+    def __post_init__(self) -> None:
+        if self.src == self.dst:
+            raise ValueError(f"packet to self: node {self.src}")
+        if self.src < 0 or self.dst < 0:
+            raise ValueError(f"negative node id: src={self.src} dst={self.dst}")
+
+    @property
+    def bits(self) -> int:
+        return self.lane.bits
+
+    @property
+    def flits(self) -> int:
+        return self.lane.flits
+
+    # -- latency components (valid after delivery) ------------------------
+
+    @property
+    def scheduling_delay(self) -> int:
+        """Intentional delay inserted to avoid collisions (§5.2)."""
+        return self.scheduled_cycle - self.enqueue_cycle
+
+    @property
+    def queuing_delay(self) -> int:
+        """Waiting behind earlier packets and for a slot boundary."""
+        return self.first_tx_cycle - self.scheduled_cycle
+
+    @property
+    def resolution_delay(self) -> int:
+        return self.final_tx_cycle - self.first_tx_cycle
+
+    @property
+    def network_delay(self) -> int:
+        return self.deliver_cycle - self.final_tx_cycle
+
+    @property
+    def total_delay(self) -> int:
+        return self.deliver_cycle - self.enqueue_cycle
+
+
+# -- PID / ~PID collision code ---------------------------------------------
+
+
+def merged_header(sender_ids: Iterable[int], id_bits: int) -> tuple[int, int]:
+    """OR-merge the (PID, ~PID) headers of simultaneous senders.
+
+    Returns the merged ``(pid, pid_complement)`` bit patterns a receiver
+    observes.  With a single sender the pair is consistent; with more
+    than one it is not.
+    """
+    mask = (1 << id_bits) - 1
+    pid_or = 0
+    pidc_or = 0
+    for sender in sender_ids:
+        if sender < 0 or sender > mask:
+            raise ValueError(f"sender id {sender} does not fit in {id_bits} bits")
+        pid_or |= sender
+        pidc_or |= (~sender) & mask
+    return pid_or, pidc_or
+
+
+def collision_detected(pid: int, pid_complement: int) -> bool:
+    """True when the merged header is inconsistent (some bit set in both).
+
+    >>> collision_detected(*merged_header([3], id_bits=4))
+    False
+    >>> collision_detected(*merged_header([3, 5], id_bits=4))
+    True
+    """
+    return (pid & pid_complement) != 0
+
+
+def merged_one_hot(sender_ids: Iterable[int], num_nodes: int) -> int:
+    """OR-merge one-hot sender headers (paper footnote 7).
+
+    For small-scale networks the header can afford a bit *vector*
+    encoding of the PID — one bit per node.  The OR of colliding
+    headers then identifies the participants exactly, with no innocent
+    candidates.
+    """
+    merged = 0
+    for sender in sender_ids:
+        if not 0 <= sender < num_nodes:
+            raise ValueError(f"sender {sender} outside 0..{num_nodes - 1}")
+        merged |= 1 << sender
+    return merged
+
+
+def one_hot_senders(merged: int, num_nodes: int) -> list[int]:
+    """Decode the exact participant set from a one-hot OR pattern.
+
+    >>> one_hot_senders(merged_one_hot([2, 5], 8), 8)
+    [2, 5]
+    """
+    if merged < 0 or merged >= (1 << num_nodes):
+        raise ValueError(f"pattern {merged:#x} does not fit {num_nodes} nodes")
+    return [node for node in range(num_nodes) if merged & (1 << node)]
+
+
+def candidate_senders(
+    pid: int, pid_complement: int, node_ids: Iterable[int], id_bits: int
+) -> list[int]:
+    """Superset of nodes that *could* have contributed to a merged header.
+
+    A node is a candidate iff its PID bits are covered by the merged PID
+    and its ~PID bits are covered by the merged ~PID.  All true
+    participants are always included; some innocents may be too — the
+    paper reports the resulting hint picks a true collider 94% of the
+    time once combined with expected-reply knowledge.
+    """
+    mask = (1 << id_bits) - 1
+    out = []
+    for node in node_ids:
+        if node < 0 or node > mask:
+            raise ValueError(f"node id {node} does not fit in {id_bits} bits")
+        node_c = (~node) & mask
+        if (node & pid) == node and (node_c & pid_complement) == node_c:
+            out.append(node)
+    return out

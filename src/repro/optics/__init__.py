@@ -1,0 +1,44 @@
+"""Photonic device and free-space propagation models.
+
+This package is the physical substrate of the FSOI link (paper §3 and
+Table 1).  It provides closed-form models — in place of the paper's
+DAVINCI device simulations — for:
+
+* :mod:`repro.optics.gaussian` — Gaussian beam propagation and aperture
+  clipping, the physics of the free-space hop.
+* :mod:`repro.optics.vcsel` — the vertical-cavity surface-emitting laser:
+  L-I curve, parasitics, relaxation-oscillation bandwidth, drive power.
+* :mod:`repro.optics.photodetector` — resonant-cavity photodiode:
+  responsivity, capacitance, RC bandwidth.
+* :mod:`repro.optics.lens` / :mod:`repro.optics.mirror` — passive
+  micro-optics with per-element transmission.
+* :mod:`repro.optics.path` — the composed transmitter-lens → mirrors →
+  receiver-lens free-space path and its loss budget.
+* :mod:`repro.optics.noise` — receiver noise (thermal + shot), Q factor,
+  SNR and BER for on-off keying.
+
+:class:`repro.core.link.OpticalLink` assembles these into the end-to-end
+link whose parameters reproduce Table 1, and
+:class:`repro.core.layout.ChipLayout` composes per-pair links across the
+Figure 1c floorplan.
+"""
+
+from repro.optics.gaussian import GaussianBeam
+from repro.optics.lens import MicroLens
+from repro.optics.mirror import MicroMirror
+from repro.optics.noise import ReceiverNoise, ber_from_q, q_from_ber
+from repro.optics.path import FreeSpacePath
+from repro.optics.photodetector import Photodetector
+from repro.optics.vcsel import Vcsel
+
+__all__ = [
+    "GaussianBeam",
+    "MicroLens",
+    "MicroMirror",
+    "ReceiverNoise",
+    "ber_from_q",
+    "q_from_ber",
+    "FreeSpacePath",
+    "Photodetector",
+    "Vcsel",
+]

@@ -1,0 +1,101 @@
+"""Gaussian beam propagation and aperture clipping.
+
+The FSOI link's dominant loss mechanism is the finite aperture of the
+receiving micro-lens relative to the diffraction-spread beam after a
+~2 cm free-space hop (paper §3.2, Table 1's 2.6 dB optical path loss).
+A fundamental-mode VCSEL emits a TEM00 Gaussian beam, so the standard
+Gaussian-beam formulas apply:
+
+* Rayleigh range        ``z_R = pi * w0^2 * n / lambda``
+* radius at distance z  ``w(z) = w0 * sqrt(1 + (z/z_R)^2)``
+* power through a centred circular aperture of radius a:
+  ``T = 1 - exp(-2 a^2 / w^2)``
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["GaussianBeam"]
+
+
+@dataclass(frozen=True)
+class GaussianBeam:
+    """A TEM00 Gaussian beam at a waist.
+
+    Parameters
+    ----------
+    waist:
+        1/e² intensity radius ``w0`` at the waist, meters.
+    wavelength:
+        Vacuum wavelength, meters.
+    refractive_index:
+        Index of the propagation medium (1.0 for free space, ~3.5 inside
+        the GaAs substrate the back-emitting VCSEL shines through).
+    """
+
+    waist: float
+    wavelength: float
+    refractive_index: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.waist <= 0:
+            raise ValueError(f"waist must be positive: {self.waist}")
+        if self.wavelength <= 0:
+            raise ValueError(f"wavelength must be positive: {self.wavelength}")
+        if self.refractive_index < 1.0:
+            raise ValueError(f"refractive index < 1: {self.refractive_index}")
+
+    @property
+    def rayleigh_range(self) -> float:
+        """Distance over which the beam stays roughly collimated, meters."""
+        return math.pi * self.waist**2 * self.refractive_index / self.wavelength
+
+    @property
+    def divergence_half_angle(self) -> float:
+        """Far-field half-angle divergence, radians."""
+        return self.wavelength / (math.pi * self.waist * self.refractive_index)
+
+    def radius_at(self, z: float) -> float:
+        """1/e² beam radius after propagating ``z`` meters from the waist."""
+        if z < 0:
+            raise ValueError(f"negative propagation distance: {z}")
+        return self.waist * math.sqrt(1.0 + (z / self.rayleigh_range) ** 2)
+
+    def aperture_transmission(self, z: float, aperture_radius: float) -> float:
+        """Fraction of power passing a centred circular aperture at ``z``.
+
+        >>> beam = GaussianBeam(waist=45e-6, wavelength=980e-9)
+        >>> 0.0 < beam.aperture_transmission(0.02, 95e-6) < 1.0
+        True
+        """
+        if aperture_radius <= 0:
+            raise ValueError(f"aperture radius must be positive: {aperture_radius}")
+        w = self.radius_at(z)
+        return 1.0 - math.exp(-2.0 * (aperture_radius / w) ** 2)
+
+    def collimated_by(self, new_waist: float) -> "GaussianBeam":
+        """Return the beam re-waisted by an ideal lens (e.g. a collimator).
+
+        An ideal micro-lens placed one focal length from the source waist
+        produces a new waist at the lens; we model only the resulting
+        waist size, which is what the downstream clipping loss depends on.
+        The new beam propagates in free space (index 1).
+        """
+        return GaussianBeam(
+            waist=new_waist, wavelength=self.wavelength, refractive_index=1.0
+        )
+
+    @staticmethod
+    def optimal_waist_for_range(wavelength: float, distance: float) -> float:
+        """Waist that minimises beam radius at ``distance`` (confocal choice).
+
+        Setting ``z_R = distance`` minimises ``w(distance)``, giving
+        ``w0 = sqrt(lambda * distance / pi)``.  For 980 nm over 2 cm this
+        is ~79 µm — the reason the paper's receiver lens (190 µm aperture)
+        is about twice the transmitter lens (90 µm).
+        """
+        if wavelength <= 0 or distance <= 0:
+            raise ValueError("wavelength and distance must be positive")
+        return math.sqrt(wavelength * distance / math.pi)

@@ -1,0 +1,77 @@
+"""Micro-lens model.
+
+Micro-lenses collimate the VCSEL's diverging output at the transmitter
+and focus the arriving beam onto the photodetector at the receiver
+(paper §3.2).  Table 1 specifies a 90 µm aperture at the transmitter and
+190 µm at the receiver.  Each lens contributes a small insertion loss
+(Fresnel reflection of an anti-reflection-coated surface pair) and clips
+the tail of the Gaussian beam that falls outside its aperture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.optics.gaussian import GaussianBeam
+from repro.util.units import UM
+
+__all__ = ["MicroLens"]
+
+
+@dataclass(frozen=True)
+class MicroLens:
+    """A refractive micro-lens.
+
+    Parameters
+    ----------
+    aperture:
+        Clear aperture *diameter*, meters.
+    transmission:
+        Bulk + surface transmission of the element itself (AR-coated
+        GaAs or polymer; ~0.98-0.99), excluding aperture clipping.
+    focal_length:
+        Paraxial focal length, meters.  Only used for spot-size
+        calculations; the collimation itself is treated as ideal.
+    """
+
+    aperture: float = 90 * UM
+    transmission: float = 0.99
+    focal_length: float = 150 * UM
+
+    def __post_init__(self) -> None:
+        if self.aperture <= 0:
+            raise ValueError(f"aperture must be positive: {self.aperture}")
+        if not 0 < self.transmission <= 1:
+            raise ValueError(f"transmission must be in (0, 1]: {self.transmission}")
+
+    @property
+    def radius(self) -> float:
+        return self.aperture / 2.0
+
+    def clip(self, beam: GaussianBeam, distance_from_waist: float) -> float:
+        """Power fraction surviving this lens for a beam arriving from
+        ``distance_from_waist`` meters away (clipping x element loss)."""
+        clipping = beam.aperture_transmission(distance_from_waist, self.radius)
+        return clipping * self.transmission
+
+    def collimate(self, beam: GaussianBeam, fill_factor: float = 0.7) -> GaussianBeam:
+        """Collimate ``beam`` into a new waist sized to this lens.
+
+        The collimated waist is ``fill_factor x radius``; filling the
+        aperture much beyond ~0.7 trades collimation for clipping loss at
+        the lens itself (a standard design rule).
+        """
+        if not 0 < fill_factor <= 1:
+            raise ValueError(f"fill factor must be in (0, 1]: {fill_factor}")
+        return beam.collimated_by(self.radius * fill_factor)
+
+    def focused_spot_radius(self, beam: GaussianBeam) -> float:
+        """Diffraction-limited focused spot radius on the detector, meters.
+
+        w_spot = lambda * f / (pi * w_in) for an input beam of radius
+        ``w_in`` at the lens (taken as the beam waist for a collimated
+        arrival).
+        """
+        import math
+
+        return beam.wavelength * self.focal_length / (math.pi * beam.waist)

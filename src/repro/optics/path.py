@@ -1,0 +1,146 @@
+"""The composed free-space optical path and its loss budget.
+
+One FSOI hop (Figure 2 of the paper) is:
+
+    VCSEL -> GaAs substrate -> transmitter micro-lens (collimation)
+          -> micro-mirror bounces across the chip
+          -> receiver micro-lens (focusing) -> photodetector
+
+The default geometry reproduces Table 1's *worst case*: a 2 cm diagonal
+hop at 980 nm with a 90 µm transmitter lens and a 190 µm receiver lens,
+for a total optical path loss of ~2.6 dB.  The dominant term is
+diffraction: a beam launched from a 45 µm radius aperture spreads to
+~145 µm (1/e²) after 2 cm, so the 95 µm receiver aperture clips ~2.4 dB;
+mirror and lens insertion losses make up the rest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.optics.gaussian import GaussianBeam
+from repro.optics.lens import MicroLens
+from repro.optics.mirror import MirrorPath
+from repro.util.units import CM, NM, SPEED_OF_LIGHT, UM, linear_to_db
+
+__all__ = ["FreeSpacePath"]
+
+GAAS_INDEX = 3.52  # refractive index of GaAs at 980 nm
+
+
+@dataclass(frozen=True)
+class FreeSpacePath:
+    """A single transmitter-to-receiver free-space hop.
+
+    Parameters
+    ----------
+    distance:
+        Free-space propagation distance, meters (Table 1: 2 cm for the
+        chip-diagonal worst case).
+    wavelength:
+        Optical wavelength, meters (Table 1: 980 nm).
+    tx_lens, rx_lens:
+        The collimating and focusing micro-lenses (Table 1: 90 µm and
+        190 µm apertures).
+    mirrors:
+        Mirror-bounce segment of the path.
+    substrate_thickness:
+        GaAs substrate the back-emitting VCSEL shines through before the
+        transmitter lens, meters (paper §4.2: 430 µm).
+    source_waist:
+        Beam waist radius at the VCSEL aperture, meters.
+    launch_efficiency:
+        Mode-match / residual-clipping efficiency of collimation at the
+        transmitter (beam tails lost at the collimator when the lens is
+        filled).
+    fill_factor:
+        Fraction of the transmitter lens radius used as the collimated
+        beam waist.
+    """
+
+    distance: float = 2 * CM
+    wavelength: float = 980 * NM
+    tx_lens: MicroLens = field(default_factory=lambda: MicroLens(aperture=90 * UM, transmission=0.995))
+    rx_lens: MicroLens = field(default_factory=lambda: MicroLens(aperture=190 * UM, transmission=0.995))
+    mirrors: MirrorPath = field(default_factory=MirrorPath)
+    substrate_thickness: float = 430 * UM
+    source_waist: float = 2.5 * UM
+    launch_efficiency: float = 0.98
+    fill_factor: float = 1.0
+
+    def source_beam(self) -> GaussianBeam:
+        """The diverging beam inside the GaAs substrate."""
+        return GaussianBeam(
+            waist=self.source_waist,
+            wavelength=self.wavelength,
+            refractive_index=GAAS_INDEX,
+        )
+
+    def collimated_beam(self) -> GaussianBeam:
+        """The beam after the transmitter lens, propagating in free space."""
+        return self.tx_lens.collimate(self.source_beam(), self.fill_factor)
+
+    # -- loss budget ------------------------------------------------------
+
+    def substrate_clip(self) -> float:
+        """Power fraction surviving the transmitter lens aperture."""
+        return self.source_beam().aperture_transmission(
+            self.substrate_thickness, self.tx_lens.radius
+        )
+
+    def receiver_clip(self) -> float:
+        """Power fraction of the spread beam caught by the receiver lens."""
+        return self.collimated_beam().aperture_transmission(
+            self.distance, self.rx_lens.radius
+        )
+
+    def transmission(self) -> float:
+        """End-to-end power fraction delivered to the photodetector.
+
+        Combines substrate-side clipping, transmitter lens insertion loss
+        and launch efficiency, mirror bounces, receiver-side clipping and
+        receiver lens insertion loss.
+        """
+        return (
+            self.substrate_clip()
+            * self.tx_lens.transmission
+            * self.launch_efficiency
+            * self.mirrors.transmission
+            * self.receiver_clip()
+            * self.rx_lens.transmission
+        )
+
+    def loss_db(self) -> float:
+        """Total optical path loss in dB (Table 1: 2.6 dB).
+
+        >>> 2.0 < FreeSpacePath().loss_db() < 3.2
+        True
+        """
+        return -linear_to_db(self.transmission())
+
+    # -- timing -----------------------------------------------------------
+
+    def propagation_delay(self) -> float:
+        """Time of flight over the free-space hop, seconds (~67 ps at 2 cm)."""
+        return self.distance / SPEED_OF_LIGHT
+
+    def skew_versus(self, other: "FreeSpacePath") -> float:
+        """Path-delay difference against another hop, seconds.
+
+        The paper pads the faster paths with extra serializer bits and
+        digital delay lines so the chip stays synchronous (§4.2 fn. 2);
+        this is the skew those delay lines must absorb.
+        """
+        return abs(self.propagation_delay() - other.propagation_delay())
+
+    def loss_budget(self) -> dict[str, float]:
+        """Per-component loss in dB, for reporting Table 1's budget."""
+        return {
+            "substrate_clip_db": -linear_to_db(self.substrate_clip()),
+            "tx_lens_db": -linear_to_db(self.tx_lens.transmission),
+            "launch_db": -linear_to_db(self.launch_efficiency),
+            "mirrors_db": -linear_to_db(self.mirrors.transmission),
+            "receiver_clip_db": -linear_to_db(self.receiver_clip()),
+            "rx_lens_db": -linear_to_db(self.rx_lens.transmission),
+            "total_db": self.loss_db(),
+        }

@@ -1,0 +1,78 @@
+"""Resonant-cavity photodetector model.
+
+The paper's receivers are GaAs resonant-cavity photodiodes fabricated on
+the same substrate as the VCSELs (§3.1, refs [24, 25]); Table 1 gives a
+responsivity of 0.5 A/W and a capacitance of 100 fF.  The photodiode's
+RC time constant with the transimpedance amplifier's input resistance
+sets the front-end bandwidth.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.util.units import FF, UM
+
+__all__ = ["Photodetector"]
+
+ELECTRON_CHARGE = 1.602_176_634e-19  # coulombs
+
+
+@dataclass(frozen=True)
+class Photodetector:
+    """A resonant-cavity-enhanced photodiode.
+
+    Defaults reproduce Table 1's receiver entries.
+
+    Parameters
+    ----------
+    responsivity:
+        Photocurrent per received optical power, A/W.
+    capacitance:
+        Junction + pad capacitance, farads.
+    diameter:
+        Active-area diameter, meters; must be large enough to catch the
+        focused spot from the receiving micro-lens.
+    dark_current:
+        Reverse-bias dark current, amperes (small; contributes shot noise).
+    """
+
+    responsivity: float = 0.5
+    capacitance: float = 100 * FF
+    diameter: float = 20 * UM
+    dark_current: float = 10e-9
+
+    def __post_init__(self) -> None:
+        if not 0 < self.responsivity <= 1.3:
+            # Beyond ~1.26 A/W at 980 nm would exceed unity quantum efficiency.
+            raise ValueError(f"unphysical responsivity: {self.responsivity}")
+        if self.capacitance <= 0:
+            raise ValueError(f"capacitance must be positive: {self.capacitance}")
+
+    def photocurrent(self, optical_power: float) -> float:
+        """Signal current for ``optical_power`` watts, amperes."""
+        if optical_power < 0:
+            raise ValueError(f"negative optical power: {optical_power}")
+        return self.responsivity * optical_power + self.dark_current
+
+    def quantum_efficiency(self, wavelength: float) -> float:
+        """Fraction of photons converted to carriers at ``wavelength``.
+
+        eta = R * h * c / (q * lambda).
+        """
+        h = 6.626_070_15e-34
+        c = 299_792_458.0
+        return self.responsivity * h * c / (ELECTRON_CHARGE * wavelength)
+
+    def rc_bandwidth(self, load_resistance: float) -> float:
+        """Front-end RC 3-dB bandwidth into ``load_resistance``, Hz."""
+        if load_resistance <= 0:
+            raise ValueError(f"load resistance must be positive: {load_resistance}")
+        return 1.0 / (2.0 * math.pi * load_resistance * self.capacitance)
+
+    def shot_noise_sigma(self, photocurrent: float, bandwidth: float) -> float:
+        """RMS shot-noise current for a given signal level, amperes."""
+        if photocurrent < 0 or bandwidth <= 0:
+            raise ValueError("photocurrent must be >= 0 and bandwidth > 0")
+        return math.sqrt(2.0 * ELECTRON_CHARGE * photocurrent * bandwidth)

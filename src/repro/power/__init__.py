@@ -1,0 +1,35 @@
+"""Energy and power models (paper §6 "Power", §7.2, Figure 8).
+
+The paper's power stack (Wattch + Orion + HotSpot + BSIM3 leakage) is
+replaced by per-event energy models calibrated at the same 45 nm node:
+
+* :mod:`repro.power.optical` — FSOI subsystem power from Table 1's
+  circuit numbers: transmit energy per bit, below-threshold standby,
+  always-on receivers, confirmation lane.
+* :mod:`repro.power.mesh_power` — Orion-style router energy: per-flit
+  buffer write/read, crossbar traversal, arbitration and link energies,
+  plus static (clock + leakage) router power.
+* :mod:`repro.power.system` — whole-chip accounting: core + cache
+  dynamic energy per instruction/access, temperature-independent
+  leakage, plus the network model; produces the Figure 8 comparison
+  (energy relative to the mesh baseline, average power, energy-delay
+  product).
+* :mod:`repro.power.thermal` — the §3.3 thermal-resistance model of the
+  3-D stack: air vs microchannel liquid vs high-conductivity spreader
+  heat removal, with the GaAs VCSEL layer's temperature envelope.
+"""
+
+from repro.power.mesh_power import MeshPowerModel
+from repro.power.optical import FsoiPowerModel
+from repro.power.system import EnergyReport, SystemPowerModel
+from repro.power.thermal import CoolingOption, ThermalReport, ThermalStack
+
+__all__ = [
+    "MeshPowerModel",
+    "FsoiPowerModel",
+    "SystemPowerModel",
+    "EnergyReport",
+    "CoolingOption",
+    "ThermalReport",
+    "ThermalStack",
+]

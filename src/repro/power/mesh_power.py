@@ -1,0 +1,81 @@
+"""Orion-style electrical mesh energy model (§6, ref [52]).
+
+A packet-switched router spends energy on every flit it touches —
+buffer write + read, crossbar traversal, allocation — plus the links;
+and, dominating in practice, it burns *static* power (clock tree,
+hundreds of flit buffers, allocator state) all the time.  The paper
+points at the Alpha 21364 router — hundreds of packet buffers, 20% of
+the area of core + 128 KB of cache — to argue this overhead is real;
+the 20x network-energy gap of Figure 8 comes mostly from the static
+term versus FSOI's powered-off lasers.
+
+Per-event energies are 45 nm Orion-class estimates for 72-bit flits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MeshPowerModel"]
+
+PJ = 1e-12
+
+
+@dataclass(frozen=True)
+class MeshPowerModel:
+    """Energy accounting for the electrical mesh.
+
+    Parameters
+    ----------
+    buffer_write_energy, buffer_read_energy:
+        Per-flit buffer energies, joules.
+    crossbar_energy, arbitration_energy:
+        Per-flit switch traversal / allocation energies, joules.
+    link_energy:
+        Per-flit per-hop link energy (few-mm 45 nm wires with
+        repeaters), joules.
+    router_static_power:
+        Clock + leakage of one 5-port 4-VC router, watts.
+    core_clock:
+        Core frequency, Hz.
+    """
+
+    buffer_write_energy: float = 2.0 * PJ
+    buffer_read_energy: float = 1.5 * PJ
+    crossbar_energy: float = 3.0 * PJ
+    arbitration_energy: float = 0.3 * PJ
+    link_energy: float = 5.0 * PJ
+    router_static_power: float = 1.5
+    core_clock: float = 3.3e9
+
+    def dynamic_energy(self, activity: dict[str, int]) -> float:
+        """Energy from a run's switching activity counters, joules.
+
+        ``activity`` is :meth:`repro.mesh.network.MeshNetwork.activity`.
+        """
+        return (
+            activity.get("buffer_writes", 0) * self.buffer_write_energy
+            + activity.get("buffer_reads", 0) * self.buffer_read_energy
+            + activity.get("flits_routed", 0)
+            * (self.crossbar_energy + self.arbitration_energy)
+            + activity.get("link_flits", 0) * self.link_energy
+        )
+
+    def static_power(self, num_nodes: int) -> float:
+        """Total router static power, watts."""
+        return num_nodes * self.router_static_power
+
+    def energy(self, activity: dict[str, int], cycles: int, num_nodes: int) -> float:
+        """Total mesh network energy over a run, joules."""
+        if cycles < 0:
+            raise ValueError(f"negative cycle count: {cycles}")
+        seconds = cycles / self.core_clock
+        return self.dynamic_energy(activity) + self.static_power(num_nodes) * seconds
+
+    def average_power(
+        self, activity: dict[str, int], cycles: int, num_nodes: int
+    ) -> float:
+        if cycles == 0:
+            return 0.0
+        seconds = cycles / self.core_clock
+        return self.energy(activity, cycles, num_nodes) / seconds

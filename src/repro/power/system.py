@@ -1,0 +1,123 @@
+"""Whole-chip energy accounting (Figure 8, §7.2).
+
+Components, mirroring Figure 8's stacking:
+
+* **Network** — :class:`repro.power.optical.FsoiPowerModel` or
+  :class:`repro.power.mesh_power.MeshPowerModel` depending on the run.
+* **Processor core + cache** — dynamic power while busy, a large
+  fraction of it still burned while stalled (2010-era Wattch-style
+  conditional clock gating leaves most of the clock tree and structures
+  toggling), so core energy is mostly proportional to *time*: a faster
+  interconnect saves core energy by finishing sooner.
+* **Leakage** — constant per-core power (we omit HotSpot's temperature
+  feedback; see DESIGN.md).
+
+The model is calibrated so the 16-node mesh baseline lands near the
+paper's 156 W average and the FSOI system near 121 W, with the network
+subsystem gap around 20x.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cmp.results import CmpResults
+from repro.power.mesh_power import MeshPowerModel
+from repro.power.optical import FsoiPowerModel
+
+__all__ = ["SystemPowerModel", "EnergyReport"]
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Energy (joules), power (watts) and EDP for one run."""
+
+    network_energy: float
+    core_energy: float
+    leakage_energy: float
+    seconds: float
+    instructions: int
+
+    @property
+    def total_energy(self) -> float:
+        return self.network_energy + self.core_energy + self.leakage_energy
+
+    @property
+    def average_power(self) -> float:
+        return self.total_energy / self.seconds if self.seconds else 0.0
+
+    @property
+    def time_per_instruction(self) -> float:
+        return self.seconds / self.instructions if self.instructions else 0.0
+
+    def energy_delay_product(self) -> float:
+        """EDP for the fixed work this run performed: E x (T per unit work).
+
+        Comparing runs of the same app/window, divide per instruction so
+        runs that got more work done in the window are not penalised.
+        """
+        if not self.instructions:
+            return 0.0
+        return (self.total_energy / self.instructions) * self.time_per_instruction
+
+    def relative_to(self, baseline: "EnergyReport") -> dict[str, float]:
+        """Figure 8's normalization: per-unit-work energy vs baseline."""
+        if baseline.instructions == 0 or self.instructions == 0:
+            raise ValueError("both runs must have made progress")
+        scale = baseline.instructions / self.instructions
+        base = baseline.total_energy
+        return {
+            "network": self.network_energy * scale / base,
+            "core_cache": self.core_energy * scale / base,
+            "leakage": self.leakage_energy * scale / base,
+            "total": self.total_energy * scale / base,
+        }
+
+
+@dataclass(frozen=True)
+class SystemPowerModel:
+    """Converts a :class:`CmpResults` into an :class:`EnergyReport`.
+
+    Per-core powers are 45 nm-era estimates for a 4-wide OoO core plus
+    its L1/L2 slice at 3.3 GHz.
+    """
+
+    core_busy_power: float = 6.5      # W, core+cache while issuing
+    core_stall_power: float = 4.5     # W, while stalled (clocks still up)
+    core_leakage_power: float = 2.8   # W, per core, always
+    core_clock: float = 3.3e9
+    fsoi: FsoiPowerModel = field(default_factory=FsoiPowerModel)
+    mesh: MeshPowerModel = field(default_factory=MeshPowerModel)
+
+    def network_energy(self, results: CmpResults) -> float:
+        cycles = results.cycles
+        nodes = results.num_nodes
+        if results.network == "mesh":
+            return self.mesh.energy(results.mesh_activity, cycles, nodes)
+        if results.network in ("fsoi", "corona"):
+            # Corona shares the integrated-optics power story; its extra
+            # arbitration cost is latency, not energy, to first order.
+            return self.fsoi.energy(results.bits_sent, cycles, nodes)
+        # Idealized networks: charge only the FSOI-style dynamic bit
+        # energy (they are bounds, not designs).
+        return self.fsoi.transmit_energy(results.bits_sent)
+
+    def report(self, results: CmpResults) -> EnergyReport:
+        seconds = results.cycles / self.core_clock
+        busy = results.core_cycles["busy"] / self.core_clock
+        stalled = (
+            results.core_cycles["stall"] + results.core_cycles["sync"]
+        ) / self.core_clock
+        core_energy = (
+            busy * self.core_busy_power + stalled * self.core_stall_power
+        )
+        leakage = (
+            results.num_nodes * self.core_leakage_power * seconds
+        )
+        return EnergyReport(
+            network_energy=self.network_energy(results),
+            core_energy=core_energy,
+            leakage_energy=leakage,
+            seconds=seconds,
+            instructions=results.instructions,
+        )

@@ -1,0 +1,196 @@
+"""Thermal model of the 3-D-integrated FSOI stack (paper §3.3).
+
+The free-space optical layer sits *above* the chip, so the classic
+top-mounted heatsink is displaced and heat must leave through the
+alternatives the paper enumerates:
+
+* **microchannel liquid cooling** — coolant through microchannel heat
+  sinks on the back of each die, fed by fluidic TSVs (refs [33, 34]);
+* **high-conductivity spreaders** — diamond / CNT / graphene layers
+  (1000-3500 W/m·K) carrying heat laterally to the stack's edges
+  (ref [35]);
+* **air cooling** — kept as the baseline that the paper argues becomes
+  insufficient for 3-D stacks.
+
+The model is a steady-state thermal-resistance network: junction ->
+(die + TSV/spreader path) -> heat-removal interface -> ambient/coolant.
+It answers the §3.3 questions quantitatively: does each option keep the
+CMOS junctions and — more delicately — the GaAs VCSEL layer inside
+their operating envelopes at the measured chip power?
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from enum import Enum
+
+__all__ = ["CoolingOption", "ThermalStack", "ThermalReport"]
+
+
+class CoolingOption(Enum):
+    """§3.3's heat-removal alternatives."""
+
+    AIR = "air"
+    MICROCHANNEL = "microchannel"
+    DIAMOND_SPREADER = "diamond_spreader"
+
+
+#: Interface resistance junction-to-ambient/coolant for each option,
+#: K·cm²/W (area-normalized; representative of the cited literature:
+#: Tuckerman & Pease demonstrated ~0.09 K·cm²/W for microchannels).
+_INTERFACE_RESISTIVITY = {
+    CoolingOption.AIR: 1.4,
+    CoolingOption.MICROCHANNEL: 0.12,
+    CoolingOption.DIAMOND_SPREADER: 0.35,
+}
+
+#: Thermal conductivities, W/(m K) (paper §3.3 quotes diamond
+#: 1000-2200, CNT 3000-3500).
+CONDUCTIVITY = {
+    "silicon": 150.0,
+    "gaas": 55.0,
+    "diamond": 1600.0,
+}
+
+
+@dataclass(frozen=True)
+class ThermalReport:
+    """Steady-state temperatures of the stack, degrees C."""
+
+    cooling: CoolingOption
+    chip_power: float
+    cmos_junction: float
+    vcsel_layer: float
+    cmos_limit: float = 105.0
+    vcsel_limit: float = 85.0
+
+    @property
+    def cmos_ok(self) -> bool:
+        return self.cmos_junction <= self.cmos_limit
+
+    @property
+    def vcsel_ok(self) -> bool:
+        return self.vcsel_layer <= self.vcsel_limit
+
+    @property
+    def feasible(self) -> bool:
+        return self.cmos_ok and self.vcsel_ok
+
+    @property
+    def vcsel_margin(self) -> float:
+        """Headroom before the VCSEL layer leaves its envelope, K."""
+        return self.vcsel_limit - self.vcsel_layer
+
+
+@dataclass(frozen=True)
+class ThermalStack:
+    """The 3-D stack of Figure 1a/b, thermally.
+
+    Parameters
+    ----------
+    die_area:
+        Heat-extraction area, m² (a 1.4 cm x 1.4 cm die by default).
+    si_thickness, gaas_thickness:
+        Die thicknesses, meters (the paper's GaAs substrate is 430 µm).
+    coolant_temperature:
+        Ambient air or inlet coolant temperature, degrees C.
+    optical_layer_fraction:
+        Fraction of chip power dissipated in the GaAs photonics layer
+        (the FSOI transceivers are ~1-2 W of ~120-160 W).
+    """
+
+    die_area: float = (1.4e-2) ** 2
+    si_thickness: float = 200e-6
+    gaas_thickness: float = 430e-6
+    coolant_temperature: float = 45.0
+    optical_layer_fraction: float = 0.015
+
+    def __post_init__(self) -> None:
+        if self.die_area <= 0:
+            raise ValueError(f"die area must be positive: {self.die_area}")
+        if not 0.0 <= self.optical_layer_fraction <= 1.0:
+            raise ValueError("optical layer fraction out of [0, 1]")
+
+    # -- resistances --------------------------------------------------------
+
+    def conduction_resistance(self, thickness: float, conductivity: float) -> float:
+        """1-D conduction through a die layer, K/W."""
+        if thickness < 0 or conductivity <= 0:
+            raise ValueError("bad layer parameters")
+        return thickness / (conductivity * self.die_area)
+
+    def interface_resistance(self, cooling: CoolingOption) -> float:
+        """Junction-to-coolant interface resistance, K/W."""
+        resistivity_cm2 = _INTERFACE_RESISTIVITY[cooling]
+        return resistivity_cm2 / (self.die_area * 1e4)  # K cm^2/W -> K/W
+
+    #: Spreader layer for the DIAMOND_SPREADER option (CNT-class
+    #: conductivity, §3.3 quotes 3000-3500 W/m K; 500 um layer).
+    spreader_conductivity: float = 3000.0
+    spreader_thickness: float = 500e-6
+
+    def lateral_spreading_resistance(self) -> float:
+        """Edge extraction for the spreader option, K/W.
+
+        Radial spreading through the high-conductivity layer from the
+        die center to edge-mounted thermal pipes:
+        ``R = ln(r_edge / r_source) / (2 pi k t)``.
+        """
+        r_edge = math.sqrt(self.die_area) / 2
+        r_source = 1e-3  # effective source radius of the hot region
+        return math.log(r_edge / r_source) / (
+            2 * math.pi * self.spreader_conductivity * self.spreader_thickness
+        )
+
+    # -- evaluation --------------------------------------------------------
+
+    def evaluate(self, chip_power: float, cooling: CoolingOption) -> ThermalReport:
+        """Steady-state temperatures for ``chip_power`` watts.
+
+        >>> stack = ThermalStack()
+        >>> stack.evaluate(150.0, CoolingOption.MICROCHANNEL).feasible
+        True
+        >>> stack.evaluate(150.0, CoolingOption.AIR).feasible
+        False
+        """
+        if chip_power < 0:
+            raise ValueError(f"negative power: {chip_power}")
+        r_interface = self.interface_resistance(cooling)
+        if cooling is CoolingOption.DIAMOND_SPREADER:
+            r_interface += self.lateral_spreading_resistance()
+        r_silicon = self.conduction_resistance(
+            self.si_thickness, CONDUCTIVITY["silicon"]
+        )
+        cmos = self.coolant_temperature + chip_power * (r_interface + r_silicon)
+
+        # The GaAs photonics die is bonded to the back of the silicon
+        # chip: its own dissipation crosses the GaAs substrate, and it
+        # soaks in the CMOS layer's temperature underneath.
+        optical_power = chip_power * self.optical_layer_fraction
+        r_gaas = self.conduction_resistance(
+            self.gaas_thickness, CONDUCTIVITY["gaas"]
+        )
+        vcsel = cmos + optical_power * r_gaas
+
+        return ThermalReport(
+            cooling=cooling,
+            chip_power=chip_power,
+            cmos_junction=cmos,
+            vcsel_layer=vcsel,
+        )
+
+    def max_power(self, cooling: CoolingOption, step: float = 1.0) -> float:
+        """Largest chip power the option sustains with both limits met."""
+        power = 0.0
+        while self.evaluate(power + step, cooling).feasible:
+            power += step
+            if power > 2000:  # pragma: no cover - unphysical guard
+                break
+        return power
+
+    def survey(self, chip_power: float) -> dict[CoolingOption, ThermalReport]:
+        """Evaluate every §3.3 option at the same power."""
+        return {
+            option: self.evaluate(chip_power, option) for option in CoolingOption
+        }

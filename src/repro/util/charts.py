@@ -1,0 +1,137 @@
+"""Terminal-friendly charts for benchmark and example output.
+
+The benchmark harness prints the paper's figures as text; these helpers
+render the shapes (grouped bars for the speedup figures, line series
+for sweeps, heatmaps for traffic matrices) so the output reads like the
+figure, not just its data.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["bar_chart", "grouped_bars", "series", "heatmap"]
+
+_BLOCKS = " ▏▎▍▌▋▊▉█"
+_SHADES = " ░▒▓█"
+
+
+def _bar(value: float, maximum: float, width: int) -> str:
+    """A horizontal bar of fractional-block resolution."""
+    if maximum <= 0:
+        return ""
+    filled = max(0.0, value / maximum) * width
+    whole = int(filled)
+    remainder = int((filled - whole) * (len(_BLOCKS) - 1))
+    bar = "█" * whole
+    if remainder and whole < width:
+        bar += _BLOCKS[remainder]
+    return bar
+
+
+def bar_chart(
+    data: Mapping[str, float],
+    width: int = 40,
+    title: str = "",
+    fmt: str = "{:.2f}",
+) -> str:
+    """One bar per key, scaled to the maximum value.
+
+    >>> print(bar_chart({"a": 2.0, "b": 1.0}, width=4, title="t"))
+    t
+    a  ████ 2.00
+    b  ██ 1.00
+    """
+    if not data:
+        raise ValueError("no data to chart")
+    label_width = max(len(k) for k in data)
+    maximum = max(data.values())
+    lines = [title] if title else []
+    for key, value in data.items():
+        lines.append(
+            f"{key:<{label_width}}  {_bar(value, maximum, width)} "
+            + fmt.format(value)
+        )
+    return "\n".join(lines)
+
+
+def grouped_bars(
+    groups: Mapping[str, Mapping[str, float]],
+    width: int = 30,
+    title: str = "",
+    fmt: str = "{:.2f}",
+) -> str:
+    """Figure-6b style: for each group (app), one bar per series (network)."""
+    if not groups:
+        raise ValueError("no data to chart")
+    series_names = list(next(iter(groups.values())))
+    maximum = max(
+        value for bars in groups.values() for value in bars.values()
+    )
+    label_width = max(
+        max(len(g) for g in groups), max(len(s) for s in series_names)
+    )
+    lines = [title] if title else []
+    for group, bars in groups.items():
+        lines.append(f"{group}:")
+        for name in series_names:
+            value = bars[name]
+            lines.append(
+                f"  {name:<{label_width}} {_bar(value, maximum, width)} "
+                + fmt.format(value)
+            )
+    return "\n".join(lines)
+
+
+def series(
+    xs: Sequence[float],
+    ys: Mapping[str, Sequence[float]],
+    height: int = 10,
+    width: int = 60,
+    title: str = "",
+) -> str:
+    """A multi-line scatter/line plot on a character grid."""
+    if not ys or not xs:
+        raise ValueError("no data to chart")
+    for name, values in ys.items():
+        if len(values) != len(xs):
+            raise ValueError(f"series {name!r} length mismatch")
+    lo_x, hi_x = min(xs), max(xs)
+    all_y = [v for values in ys.values() for v in values]
+    lo_y, hi_y = min(all_y), max(all_y)
+    span_x = (hi_x - lo_x) or 1.0
+    span_y = (hi_y - lo_y) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    markers = "ox+*#@"
+    for index, (name, values) in enumerate(ys.items()):
+        mark = markers[index % len(markers)]
+        for x, y in zip(xs, values):
+            col = int((x - lo_x) / span_x * (width - 1))
+            row = height - 1 - int((y - lo_y) / span_y * (height - 1))
+            grid[row][col] = mark
+    lines = [title] if title else []
+    lines.append(f"{hi_y:8.3g} ┤" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * 8 + " │" + "".join(row))
+    lines.append(f"{lo_y:8.3g} ┤" + "".join(grid[-1]))
+    lines.append(" " * 10 + f"{lo_x:<.3g}" + " " * (width - 12) + f"{hi_x:>.3g}")
+    legend = "   ".join(
+        f"{markers[i % len(markers)]}={name}" for i, name in enumerate(ys)
+    )
+    lines.append(" " * 10 + legend)
+    return "\n".join(lines)
+
+
+def heatmap(matrix: Sequence[Sequence[float]], title: str = "") -> str:
+    """A shaded-block rendering of e.g. a traffic matrix."""
+    if not matrix or not matrix[0]:
+        raise ValueError("no data to chart")
+    maximum = max(max(row) for row in matrix) or 1.0
+    lines = [title] if title else []
+    for row in matrix:
+        cells = []
+        for value in row:
+            shade = int(value / maximum * (len(_SHADES) - 1))
+            cells.append(_SHADES[shade] * 2)
+        lines.append("".join(cells))
+    return "\n".join(lines)

@@ -1,0 +1,75 @@
+"""Physical-unit helpers for the photonics and power models.
+
+Conventions used throughout :mod:`repro.optics` and :mod:`repro.power`:
+
+* lengths in **meters**, areas in m².
+* optical power in **watts** (helpers convert to/from dBm).
+* loss/gain ratios as linear factors (helpers convert to/from dB).
+* currents in amperes, voltages in volts, energy in joules.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "db_to_linear",
+    "linear_to_db",
+    "dbm_to_watts",
+    "watts_to_dbm",
+    "UM",
+    "NM",
+    "MM",
+    "CM",
+    "GHZ",
+    "GBPS",
+    "MW",
+    "FF",
+    "PS",
+    "SPEED_OF_LIGHT",
+]
+
+# Scale factors: multiply a value in the named unit to obtain SI.
+UM = 1e-6     # micrometers -> meters
+NM = 1e-9     # nanometers -> meters
+MM = 1e-3     # millimeters -> meters
+CM = 1e-2     # centimeters -> meters
+GHZ = 1e9     # gigahertz -> hertz
+GBPS = 1e9    # gigabits/s -> bits/s
+MW = 1e-3     # milliwatts -> watts
+FF = 1e-15    # femtofarads -> farads
+PS = 1e-12    # picoseconds -> seconds
+
+SPEED_OF_LIGHT = 299_792_458.0  # m/s, in vacuum
+
+
+def db_to_linear(db: float) -> float:
+    """Convert a dB power ratio to a linear factor.
+
+    >>> round(db_to_linear(3.0103), 3)
+    2.0
+    """
+    return 10.0 ** (db / 10.0)
+
+
+def linear_to_db(ratio: float) -> float:
+    """Convert a linear power ratio to dB.  Requires ``ratio > 0``."""
+    if ratio <= 0:
+        raise ValueError(f"dB of non-positive ratio: {ratio}")
+    return 10.0 * math.log10(ratio)
+
+
+def dbm_to_watts(dbm: float) -> float:
+    """Convert dBm to watts.
+
+    >>> dbm_to_watts(0.0)
+    0.001
+    """
+    return 1e-3 * db_to_linear(dbm)
+
+
+def watts_to_dbm(watts: float) -> float:
+    """Convert watts to dBm.  Requires ``watts > 0``."""
+    if watts <= 0:
+        raise ValueError(f"dBm of non-positive power: {watts}")
+    return linear_to_db(watts / 1e-3)

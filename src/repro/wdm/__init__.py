@@ -1,0 +1,17 @@
+"""Waveguided WDM feasibility analysis (paper §2).
+
+The paper's second section argues that the mainstream alternative —
+planar waveguides with micro-ring WDM — faces compounding physical
+costs on-chip: every ring on a shared waveguide adds insertion loss,
+every ring needs thermal wavelength stabilization, and waveguide
+crossings constrain topology.  This package turns those arguments into
+numbers: :class:`repro.wdm.design.WdmBusDesign` computes the optical
+power budget, ring count, thermal-tuning power and achievable aggregate
+bandwidth of a shared-bus WDM interconnect as functions of node and
+wavelength count, for direct comparison against the FSOI link whose
+loss is a constant 2.6 dB regardless of scale.
+"""
+
+from repro.wdm.design import WdmBusDesign, WdmFeasibility
+
+__all__ = ["WdmBusDesign", "WdmFeasibility"]

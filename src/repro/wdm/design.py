@@ -1,0 +1,186 @@
+"""The shared-bus WDM link budget (paper §2's challenges, quantified).
+
+Topology modeled: a snake/ring waveguide visiting all N nodes.  Each
+node carries, per wavelength it uses, a micro-ring modulator and a
+micro-ring drop filter.  A worst-case signal:
+
+1. enters from the (external, multi-wavelength) laser through a coupler;
+2. propagates the full waveguide length;
+3. passes *every other* ring on the bus off-resonance, paying the
+   paper's 0.01-0.1 dB per device ("using multiple wavelengths
+   exponentially amplifies the losses" — linear in dB);
+4. crosses other waveguides where the floorplan demands;
+5. is dropped into a photodetector.
+
+Feasibility = received power at the worst drop ≥ receiver sensitivity.
+The other §2 costs are side outputs: total ring count (fabrication
+yield), thermal tuning power (each ring is actively stabilized), and
+external laser wall-plug power.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.util.units import CM, MW
+
+__all__ = ["WdmBusDesign", "WdmFeasibility"]
+
+
+@dataclass(frozen=True)
+class WdmFeasibility:
+    """The §2 scorecard of one WDM design point."""
+
+    worst_case_loss_db: float
+    link_margin_db: float
+    total_rings: int
+    tuning_power: float
+    laser_power: float
+    aggregate_bandwidth: float
+
+    @property
+    def closes(self) -> bool:
+        return self.link_margin_db >= 0.0
+
+
+@dataclass(frozen=True)
+class WdmBusDesign:
+    """A shared-waveguide WDM interconnect design point.
+
+    Parameters (defaults representative of the paper's §2 citations)
+    ----------
+    num_nodes:
+        Nodes on the shared waveguide.
+    wavelengths:
+        WDM channels carried (each needs a distinct ring pair per node
+        that uses it).
+    channel_rate:
+        Per-wavelength modulation rate, bits/s (10 Gbps typical for
+        carrier-depletion ring modulators of the era).
+    ring_passby_loss_db:
+        Insertion loss of passing one off-resonance ring (paper:
+        0.01-0.1 dB per device; default mid-range).
+    drop_loss_db:
+        Loss of the final resonant drop into the receiver.
+    waveguide_loss_db_per_cm:
+        Propagation loss of the silicon waveguide.
+    crossing_loss_db / num_crossings:
+        Waveguide-crossing loss and how many the floorplan forces on
+        the worst path (§2: crossings "severely limit the topology").
+    coupler_loss_db:
+        Fiber/grating coupling from the external laser, once.
+    laser_power_per_channel:
+        Optical power injected per wavelength, watts.
+    receiver_sensitivity_dbm:
+        Minimum received power for the BER target.
+    ring_tuning_power:
+        Thermal stabilization per ring, watts (paper: resistive thermal
+        bias "substantially increases ... static energy consumption").
+    laser_efficiency:
+        Wall-plug efficiency of the external multi-wavelength source.
+    """
+
+    num_nodes: int = 16
+    wavelengths: int = 16
+    channel_rate: float = 10e9
+    ring_passby_loss_db: float = 0.03
+    drop_loss_db: float = 1.0
+    waveguide_loss_db_per_cm: float = 1.5
+    waveguide_length: float = 8 * CM
+    crossing_loss_db: float = 0.1
+    num_crossings: int = 8
+    coupler_loss_db: float = 1.0
+    laser_power_per_channel: float = 2 * MW
+    receiver_sensitivity_dbm: float = -17.0
+    ring_tuning_power: float = 2 * MW
+    laser_efficiency: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 2:
+            raise ValueError(f"need at least 2 nodes: {self.num_nodes}")
+        if self.wavelengths < 1:
+            raise ValueError(f"need at least 1 wavelength: {self.wavelengths}")
+        if not 0 < self.laser_efficiency <= 1:
+            raise ValueError(f"laser efficiency out of (0,1]: {self.laser_efficiency}")
+
+    # -- device inventory ---------------------------------------------------
+
+    @property
+    def rings_per_node(self) -> int:
+        """Modulator + drop filter per wavelength at each node."""
+        return 2 * self.wavelengths
+
+    @property
+    def total_rings(self) -> int:
+        return self.num_nodes * self.rings_per_node
+
+    @property
+    def rings_on_bus(self) -> int:
+        """Rings a worst-case signal passes by (all but its own drop)."""
+        return self.total_rings - 1
+
+    # -- §2 loss budget -----------------------------------------------------
+
+    def worst_case_loss_db(self) -> float:
+        """End-to-end loss of the worst wavelength/drop combination."""
+        return (
+            self.coupler_loss_db
+            + self.waveguide_loss_db_per_cm * (self.waveguide_length / CM)
+            + self.ring_passby_loss_db * self.rings_on_bus
+            + self.crossing_loss_db * self.num_crossings
+            + self.drop_loss_db
+        )
+
+    def link_margin_db(self) -> float:
+        """Received power minus sensitivity at the worst drop, dB."""
+        launch_dbm = 10 * math.log10(self.laser_power_per_channel / 1e-3)
+        received_dbm = launch_dbm - self.worst_case_loss_db()
+        return received_dbm - self.receiver_sensitivity_dbm
+
+    # -- §2 power and bandwidth ------------------------------------------------
+
+    def tuning_power(self) -> float:
+        """Static thermal stabilization power for every ring, watts."""
+        return self.total_rings * self.ring_tuning_power
+
+    def laser_power(self) -> float:
+        """Wall-plug power of the external source, watts."""
+        return self.wavelengths * self.laser_power_per_channel / self.laser_efficiency
+
+    def aggregate_bandwidth(self) -> float:
+        """Raw shared-medium bandwidth, bits/s."""
+        return self.wavelengths * self.channel_rate
+
+    # -- scorecard ---------------------------------------------------------------
+
+    def evaluate(self) -> WdmFeasibility:
+        return WdmFeasibility(
+            worst_case_loss_db=self.worst_case_loss_db(),
+            link_margin_db=self.link_margin_db(),
+            total_rings=self.total_rings,
+            tuning_power=self.tuning_power(),
+            laser_power=self.laser_power(),
+            aggregate_bandwidth=self.aggregate_bandwidth(),
+        )
+
+    def max_wavelengths(self) -> int:
+        """Largest channel count whose worst-case link still closes.
+
+        The §2 punchline: because every added wavelength adds 2N rings
+        to the shared bus, the loss budget caps the channel count —
+        and therefore the aggregate bandwidth — as N grows.
+
+        >>> WdmBusDesign(num_nodes=64).max_wavelengths() < (
+        ...     WdmBusDesign(num_nodes=16).max_wavelengths())
+        True
+        """
+        from dataclasses import replace
+
+        count = 0
+        for wavelengths in range(1, 257):
+            candidate = replace(self, wavelengths=wavelengths)
+            if candidate.link_margin_db() < 0:
+                break
+            count = wavelengths
+        return count

@@ -1,0 +1,41 @@
+"""Workload generation.
+
+Two layers:
+
+* :mod:`repro.workloads.traffic` — packet-level synthetic traffic
+  (Bernoulli/uniform, hotspot, transpose, bursts) used to characterize
+  the raw networks (Figure 3's Monte-Carlo points, stress tests).
+* :mod:`repro.workloads.splash2` — application-level synthetic
+  signatures of the paper's 16 benchmarks (SPLASH2 + em3d, ilink,
+  jacobi, mp3d, shallow, tsp), driving the full CMP simulator.  See
+  DESIGN.md for the substitution rationale (we cannot run DEC Alpha
+  binaries; the generators reproduce each application's memory-traffic
+  character instead).
+"""
+
+from repro.workloads.splash2 import APPLICATIONS, AppSignature, AppWorkload, signature
+from repro.workloads.trace import TraceWorkload, parse_trace, record_trace
+from repro.workloads.traffic import (
+    BernoulliTraffic,
+    TrafficDriver,
+    TrafficPattern,
+    hotspot_pattern,
+    transpose_pattern,
+    uniform_pattern,
+)
+
+__all__ = [
+    "APPLICATIONS",
+    "AppSignature",
+    "AppWorkload",
+    "signature",
+    "TraceWorkload",
+    "parse_trace",
+    "record_trace",
+    "BernoulliTraffic",
+    "TrafficDriver",
+    "TrafficPattern",
+    "hotspot_pattern",
+    "transpose_pattern",
+    "uniform_pattern",
+]

@@ -1,0 +1,68 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.app == "oc"
+        assert args.network == "fsoi"
+        assert args.nodes == 16
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--app", "doom"])
+
+    def test_unknown_network_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--network", "carrier-pigeon"])
+
+    def test_config_nodes_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["config", "--nodes", "32"])
+
+
+class TestCommands:
+    def test_link(self, capsys):
+        assert main(["link"]) == 0
+        out = capsys.readouterr().out
+        assert "optical_path_loss_db" in out
+        assert "receiver_clip_db" in out
+
+    def test_config(self, capsys):
+        assert main(["config", "--nodes", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "phase-array" in out
+
+    def test_run(self, capsys):
+        assert main(
+            ["run", "--app", "ba", "--network", "l0", "--cycles", "1500"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "instructions" in out
+        assert "IPC" in out
+
+    def test_run_optimized_fsoi(self, capsys):
+        assert main(
+            ["run", "--app", "ba", "--cycles", "1500", "--optimized"]
+        ) == 0
+        assert "meta lane" in capsys.readouterr().out
+
+    def test_compare(self, capsys):
+        assert main(["compare", "--app", "ba", "--cycles", "1500"]) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+        assert "EDP" in out
+
+    def test_thermal(self, capsys):
+        assert main(["thermal", "--power", "150"]) == 0
+        out = capsys.readouterr().out
+        assert "microchannel" in out
+        assert "OK" in out

@@ -1,0 +1,49 @@
+"""Tests for the fixed-work measurement methodology."""
+
+import pytest
+
+from repro.cmp import CmpConfig, CmpSystem
+
+
+def make(network, app="oc", seed=0):
+    return CmpSystem(CmpConfig(num_nodes=16, app=app, network=network, seed=seed))
+
+
+class TestRunUntilInstructions:
+    def test_reaches_target(self):
+        system = make("l0")
+        result = system.run_until_instructions(50_000)
+        assert result.instructions >= 50_000
+        assert result.cycles > 0
+
+    def test_faster_network_fewer_cycles(self):
+        """The paper's speedup, measured the paper's way: cycles for the
+        same amount of work."""
+        work = 60_000
+        mesh = make("mesh").run_until_instructions(work)
+        fsoi = make("fsoi").run_until_instructions(work)
+        assert fsoi.cycles < mesh.cycles
+        time_speedup = mesh.cycles / fsoi.cycles
+        assert time_speedup > 1.1  # ocean is communication-bound
+
+    def test_time_and_ipc_speedups_agree(self):
+        """In steady state the cycles-for-fixed-work ratio matches the
+        IPC-for-fixed-cycles ratio within a few percent."""
+        work = 60_000
+        mesh_t = make("mesh").run_until_instructions(work)
+        fsoi_t = make("fsoi").run_until_instructions(work)
+        time_speedup = mesh_t.cycles / fsoi_t.cycles
+
+        mesh_i = make("mesh").run(6000)
+        fsoi_i = make("fsoi").run(6000)
+        ipc_speedup = fsoi_i.ipc / mesh_i.ipc
+        assert time_speedup == pytest.approx(ipc_speedup, rel=0.12)
+
+    def test_unreachable_target_raises(self):
+        system = make("l0")
+        with pytest.raises(RuntimeError, match="not reached"):
+            system.run_until_instructions(10**9, max_cycles=200)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make("l0").run_until_instructions(0)

@@ -1,0 +1,70 @@
+"""Tests for multi-seed sweeps and summaries."""
+
+import pytest
+
+from repro.cmp.sweep import SweepSummary, paired_speedups, summarize, sweep
+
+
+class TestSweepSummary:
+    def test_basic_stats(self):
+        summary = SweepSummary((1.0, 2.0, 3.0))
+        assert summary.mean == 2.0
+        assert summary.minimum == 1.0
+        assert summary.maximum == 3.0
+        assert summary.count == 3
+        assert summary.stdev == pytest.approx(1.0)
+
+    def test_single_value_degenerate(self):
+        summary = SweepSummary((5.0,))
+        assert summary.stdev == 0.0
+        assert summary.ci95_halfwidth == 0.0
+
+    def test_ci_shrinks_with_samples(self):
+        narrow = SweepSummary(tuple([1.0, 2.0] * 8))
+        wide = SweepSummary((1.0, 2.0))
+        assert narrow.ci95_halfwidth < wide.ci95_halfwidth
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            SweepSummary(())
+
+    def test_str_format(self):
+        text = str(SweepSummary((1.0, 2.0)))
+        assert "±" in text and "n=2" in text
+
+
+class TestSweep:
+    def test_runs_per_seed(self):
+        results = sweep("ba", "l0", seeds=(0, 1), cycles=1500)
+        assert len(results) == 2
+        assert results[0].instructions != results[1].instructions
+
+    def test_same_seed_reproduces(self):
+        a = sweep("ba", "l0", seeds=(7,), cycles=1500)[0]
+        b = sweep("ba", "l0", seeds=(7,), cycles=1500)[0]
+        assert a.instructions == b.instructions
+
+    def test_empty_seed_list_rejected(self):
+        with pytest.raises(ValueError):
+            sweep("ba", "l0", seeds=())
+
+
+class TestPairedSpeedups:
+    def test_fsoi_over_mesh(self):
+        summary = paired_speedups(
+            "oc", "fsoi", "mesh", seeds=(0, 1), cycles=2500
+        )
+        assert summary.count == 2
+        assert summary.mean > 1.0  # FSOI wins on a comm-heavy app
+
+    def test_self_speedup_is_one(self):
+        summary = paired_speedups("ba", "l0", "l0", seeds=(0,), cycles=1500)
+        assert summary.mean == pytest.approx(1.0)
+
+
+class TestSummarize:
+    def test_arbitrary_metric(self):
+        results = sweep("ba", "l0", seeds=(0, 1), cycles=1500)
+        summary = summarize(results, lambda r: r.latency_breakdown["total"])
+        assert summary.count == 2
+        assert summary.mean > 0

@@ -1,0 +1,102 @@
+"""Shared harness: L1s + directory + memory wired by an in-order bus.
+
+The ``Fabric`` delivers messages FIFO (per-line point-to-point order is
+automatic), letting protocol tests drive multi-node scenarios without
+the full CMP machinery.  Memory is a zero-latency stub that answers
+MEM_READ with MEM_ACK.
+"""
+
+from collections import deque
+
+import pytest
+
+from repro.coherence.directory import DirectoryConfig, DirectoryController
+from repro.coherence.l1 import L1Config, L1Controller
+from repro.coherence.messages import CoherenceMessage, MsgType
+
+
+class Fabric:
+    """N L1 controllers, one directory at node 0, instant memory."""
+
+    def __init__(self, num_nodes=4, l1_config=None, dir_config=None):
+        self.num_nodes = num_nodes
+        self.queue = deque()
+        self.log = []          # every message ever sent
+        self.fills = []        # (node, line) fill notifications
+        self.directory = DirectoryController(
+            node=0,
+            send=self._sender(0),
+            memory_node_of=lambda line: 0,
+            config=dir_config or DirectoryConfig(l2_latency=0),
+        )
+        self.l1s = [
+            L1Controller(
+                node=n,
+                send=self._sender(n),
+                home_of=lambda line: 0,
+                config=l1_config or L1Config(),
+                on_fill=lambda line, n=n: self.fills.append((n, line)),
+            )
+            for n in range(num_nodes)
+        ]
+
+    def _sender(self, node):
+        def send(msg: CoherenceMessage, delay: int) -> None:
+            self.log.append(msg)
+            self.queue.append(msg)
+
+        return send
+
+    def pump(self, limit=10_000):
+        """Deliver queued messages until quiescent."""
+        steps = 0
+        while self.queue:
+            steps += 1
+            if steps > limit:
+                raise RuntimeError("fabric did not quiesce")
+            msg = self.queue.popleft()
+            self.dispatch(msg)
+
+    def dispatch(self, msg: CoherenceMessage) -> None:
+        if msg.mtype is MsgType.MEM_READ:
+            self.queue.append(
+                CoherenceMessage(
+                    mtype=MsgType.MEM_ACK,
+                    line=msg.line,
+                    sender=msg.dest,
+                    dest=msg.sender,
+                    requester=msg.requester,
+                )
+            )
+            return
+        if msg.mtype is MsgType.MEM_WRITE:
+            return
+        if msg.mtype in (
+            MsgType.REQ_SH, MsgType.REQ_EX, MsgType.REQ_UPG,
+            MsgType.WRITEBACK, MsgType.WB_ANNOUNCE,
+            MsgType.INV_ACK, MsgType.INV_ACK_DATA,
+            MsgType.DWG_ACK, MsgType.DWG_ACK_DATA, MsgType.MEM_ACK,
+        ):
+            self.directory.handle(msg)
+            return
+        self.l1s[msg.dest].handle(msg)
+
+    # -- conveniences -----------------------------------------------------
+
+    def read(self, node, line):
+        result = self.l1s[node].access(line, is_write=False)
+        self.pump()
+        return result
+
+    def write(self, node, line):
+        result = self.l1s[node].access(line, is_write=True)
+        self.pump()
+        return result
+
+    def sent(self, mtype):
+        return [m for m in self.log if m.mtype is mtype]
+
+
+@pytest.fixture
+def fabric():
+    return Fabric()

@@ -1,0 +1,151 @@
+"""End-to-end protocol scenarios and coherence invariants.
+
+Runs multiple L1 controllers against the directory through the in-order
+fabric and checks the single-writer / multiple-reader invariant — a
+lightweight model check of the Table 2 machine, including a
+hypothesis-driven random walk over the operation space.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coherence.directory import DirState
+from repro.coherence.l1 import AccessResult, L1State
+from repro.coherence.messages import MsgType
+
+from tests.coherence.conftest import Fabric
+
+LINE = 0x7
+
+
+def coherent(fabric, line):
+    """The global single-writer / multiple-reader invariant."""
+    states = [l1.state(line) for l1 in fabric.l1s]
+    writers = sum(1 for s in states if s in (L1State.M, L1State.E))
+    readers = sum(1 for s in states if s is L1State.S)
+    if writers > 1:
+        return False
+    if writers == 1 and readers > 0:
+        return False
+    return True
+
+
+class TestScenarios:
+    def test_read_then_remote_write(self, fabric):
+        assert fabric.read(1, LINE) is AccessResult.MISS
+        assert fabric.l1s[1].state(LINE) is L1State.E
+        fabric.write(2, LINE)
+        assert fabric.l1s[1].state(LINE) is L1State.I  # invalidated
+        assert fabric.l1s[2].state(LINE) is L1State.M
+        assert coherent(fabric, LINE)
+
+    def test_two_readers_share(self, fabric):
+        fabric.read(1, LINE)
+        fabric.read(2, LINE)
+        # Node 1 held E; the directory downgraded it for node 2.
+        assert fabric.l1s[1].state(LINE) is L1State.S
+        assert fabric.l1s[2].state(LINE) is L1State.S
+        assert fabric.directory.state(LINE) is DirState.DS
+        assert coherent(fabric, LINE)
+
+    def test_upgrade_after_sharing(self, fabric):
+        fabric.read(1, LINE)
+        fabric.read(2, LINE)
+        fabric.write(1, LINE)
+        assert fabric.l1s[1].state(LINE) is L1State.M
+        assert fabric.l1s[2].state(LINE) is L1State.I
+        assert len(fabric.sent(MsgType.REQ_UPG)) == 1
+        assert coherent(fabric, LINE)
+
+    def test_migratory_sharing(self, fabric):
+        """M ownership migrates 1 -> 2 -> 3 with data forwarding."""
+        for node in (1, 2, 3):
+            fabric.write(node, LINE)
+            assert fabric.l1s[node].state(LINE) is L1State.M
+            assert coherent(fabric, LINE)
+        # Two of the transfers forwarded dirty data from the old owner.
+        assert len(fabric.sent(MsgType.INV_ACK_DATA)) == 2
+
+    def test_read_after_remote_write_gets_downgrade(self, fabric):
+        fabric.write(1, LINE)
+        fabric.read(2, LINE)
+        assert fabric.l1s[1].state(LINE) is L1State.S
+        assert fabric.l1s[2].state(LINE) is L1State.S
+        assert len(fabric.sent(MsgType.DWG_ACK_DATA)) == 1
+
+    def test_memory_fetch_once_then_cached(self, fabric):
+        fabric.read(1, LINE)
+        fabric.read(2, LINE)
+        fabric.read(3, LINE)
+        assert len(fabric.sent(MsgType.MEM_READ)) == 1
+
+    def test_l2_replacement_recalls_owner(self, fabric):
+        fabric.write(1, LINE)
+        fabric.directory.replace(LINE)
+        fabric.pump()
+        assert fabric.l1s[1].state(LINE) is L1State.I
+        assert fabric.directory.state(LINE) is DirState.DI
+        assert len(fabric.sent(MsgType.MEM_WRITE)) == 1  # dirty data saved
+
+    def test_independent_lines_do_not_interact(self, fabric):
+        fabric.write(1, 0x10)
+        fabric.write(2, 0x20)
+        assert fabric.l1s[1].state(0x10) is L1State.M
+        assert fabric.l1s[2].state(0x20) is L1State.M
+
+    def test_fill_callbacks_fire(self, fabric):
+        fabric.read(1, LINE)
+        fabric.write(2, LINE)
+        assert (1, LINE) in fabric.fills
+        assert (2, LINE) in fabric.fills
+
+
+class TestRandomWalk:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=3),   # node
+                st.integers(min_value=0, max_value=2),   # line index
+                st.booleans(),                           # write?
+            ),
+            max_size=40,
+        )
+    )
+    def test_invariant_holds_under_random_ops(self, ops):
+        fabric = Fabric()
+        lines = [0x100, 0x200, 0x300]
+        for node, line_index, is_write in ops:
+            line = lines[line_index]
+            result = fabric.l1s[node].access(line, is_write)
+            fabric.pump()
+            assert result is not AccessResult.STALL  # fabric is in-order
+            for check in lines:
+                assert coherent(fabric, check), (
+                    f"incoherent after {node} {'W' if is_write else 'R'} "
+                    f"{check:#x}: {[l1.state(check) for l1 in fabric.l1s]}"
+                )
+        # Directory bookkeeping agrees with the L1s at the end.
+        for line in lines:
+            holders = {
+                n
+                for n, l1 in enumerate(fabric.l1s)
+                if l1.state(line) is not L1State.I
+            }
+            entry = fabric.directory.entry(line)
+            if holders:
+                assert holders.issubset(entry.sharers)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.data())
+    def test_final_writer_sees_exclusive(self, data):
+        fabric = Fabric()
+        sequence = data.draw(
+            st.lists(st.integers(min_value=0, max_value=3), min_size=1, max_size=10)
+        )
+        for node in sequence:
+            fabric.write(node, LINE)
+        last = sequence[-1]
+        assert fabric.l1s[last].state(LINE) is L1State.M
+        assert fabric.directory.entry(LINE).sharers == {last}

@@ -1,0 +1,224 @@
+"""Table 2, transcribed: every (state, event) cell checked explicitly.
+
+The other coherence tests exercise flows; this file is the *table
+itself* as an executable artifact — for each cell, the outcome class:
+
+* ``OK``     — handled (a transition and/or messages);
+* ``ERROR``  — the paper marks it "error": the implementation raises;
+* ``Z``      — "z": the event cannot be processed now (CPU accesses
+  stall; directory requests queue).
+
+Cells the paper leaves blank for the CPU columns of transient rows are
+the z/stall cases; impossible network events must raise so protocol
+bugs surface loudly instead of corrupting state.
+"""
+
+import pytest
+
+from repro.coherence.directory import (
+    DirectoryConfig,
+    DirectoryController,
+    DirState,
+)
+from repro.coherence.l1 import AccessResult, L1Controller, L1State
+from repro.coherence.messages import CoherenceMessage, MsgType
+
+LINE = 0x5A
+
+OK, ERROR, Z = "ok", "error", "z"
+
+
+# ---------------------------------------------------------------------------
+# L1: rows I, S, E, M, I.SD, I.MD, S.MA x events Read, Write, Inv, Dwg, Data
+# ---------------------------------------------------------------------------
+
+#: (state, event) -> expected outcome class, straight from Table 2.
+L1_MATRIX = {
+    # Read        Write       Inv        Dwg        Data
+    L1State.I:    {"read": OK, "write": OK, "inv": OK, "dwg": OK, "data": ERROR},
+    L1State.S:    {"read": OK, "write": OK, "inv": OK, "dwg": ERROR, "data": ERROR},
+    L1State.E:    {"read": OK, "write": OK, "inv": OK, "dwg": OK, "data": ERROR},
+    L1State.M:    {"read": OK, "write": OK, "inv": OK, "dwg": OK, "data": ERROR},
+    L1State.I_SD: {"read": Z, "write": Z, "inv": OK, "dwg": OK, "data": OK},
+    L1State.I_MD: {"read": Z, "write": Z, "inv": OK, "dwg": OK, "data": OK},
+    L1State.S_MA: {"read": Z, "write": Z, "inv": OK, "dwg": ERROR, "data": ERROR},
+}
+
+
+def l1_in_state(state: L1State):
+    log = []
+    l1 = L1Controller(
+        node=1,
+        send=lambda msg, delay: log.append(msg),
+        home_of=lambda line: 0,
+    )
+
+    def feed(mtype):
+        l1.handle(CoherenceMessage(mtype=mtype, line=LINE, sender=0, dest=1))
+
+    if state in (L1State.S, L1State.E):
+        l1.access(LINE, False)
+        feed(MsgType.DATA_S if state is L1State.S else MsgType.DATA_E)
+    elif state is L1State.M:
+        l1.access(LINE, True)
+        feed(MsgType.DATA_M)
+    elif state is L1State.I_SD:
+        l1.access(LINE, False)
+    elif state is L1State.I_MD:
+        l1.access(LINE, True)
+    elif state is L1State.S_MA:
+        l1.access(LINE, False)
+        feed(MsgType.DATA_S)
+        l1.access(LINE, True)
+    assert l1.state(LINE) is state
+    return l1
+
+
+def l1_apply(l1, event: str):
+    if event == "read":
+        return l1.access(LINE, False)
+    if event == "write":
+        return l1.access(LINE, True)
+    mtype = {
+        "inv": MsgType.INV,
+        "dwg": MsgType.DWG,
+        # The data event: the kind a fill in that state would carry.
+        "data": MsgType.DATA_S
+        if l1.state(LINE) is not L1State.I_MD
+        else MsgType.DATA_M,
+    }[event]
+    l1.handle(CoherenceMessage(mtype=mtype, line=LINE, sender=0, dest=1))
+
+
+@pytest.mark.parametrize(
+    "state,event,expected",
+    [
+        (state, event, expected)
+        for state, row in L1_MATRIX.items()
+        for event, expected in row.items()
+    ],
+    ids=lambda v: getattr(v, "name", str(v)),
+)
+def test_l1_matrix_cell(state, event, expected):
+    l1 = l1_in_state(state)
+    if expected is ERROR:
+        with pytest.raises(RuntimeError):
+            l1_apply(l1, event)
+    elif expected is Z:
+        assert l1_apply(l1, event) is AccessResult.STALL
+        assert l1.state(LINE) is state  # z leaves the state untouched
+    else:
+        result = l1_apply(l1, event)
+        if event in ("read", "write"):
+            assert result in (AccessResult.HIT, AccessResult.MISS)
+
+
+# ---------------------------------------------------------------------------
+# Directory: stable rows x events
+# ---------------------------------------------------------------------------
+
+DIR_MATRIX = {
+    #               Req(Sh)  Req(Ex)  WriteBack  InvAck  DwgAck  MemAck
+    DirState.DI: {"sh": OK, "ex": OK, "wb": ERROR, "inv_ack": ERROR,
+                  "dwg_ack": ERROR, "mem_ack": ERROR},
+    DirState.DV: {"sh": OK, "ex": OK, "wb": ERROR, "inv_ack": ERROR,
+                  "dwg_ack": ERROR, "mem_ack": ERROR},
+    DirState.DS: {"sh": OK, "ex": OK, "wb": ERROR, "inv_ack": ERROR,
+                  "dwg_ack": ERROR, "mem_ack": ERROR},
+    DirState.DM: {"sh": OK, "ex": OK, "wb": OK, "inv_ack": ERROR,
+                  "dwg_ack": ERROR, "mem_ack": ERROR},
+}
+
+DIR_EVENTS = {
+    "sh": MsgType.REQ_SH,
+    "ex": MsgType.REQ_EX,
+    "wb": MsgType.WRITEBACK,
+    "inv_ack": MsgType.INV_ACK,
+    "dwg_ack": MsgType.DWG_ACK,
+    "mem_ack": MsgType.MEM_ACK,
+}
+
+
+def directory_in_state(state: DirState):
+    directory = DirectoryController(
+        node=0,
+        send=lambda msg, delay: None,
+        memory_node_of=lambda line: 7,
+        config=DirectoryConfig(l2_latency=0),
+    )
+    entry = directory.entry(LINE)
+    entry.state = state
+    if state is DirState.DS:
+        entry.sharers = {1, 2}
+    elif state is DirState.DM:
+        entry.sharers = {1}
+    return directory
+
+
+@pytest.mark.parametrize(
+    "state,event,expected",
+    [
+        (state, event, expected)
+        for state, row in DIR_MATRIX.items()
+        for event, expected in row.items()
+    ],
+    ids=lambda v: getattr(v, "name", str(v)),
+)
+def test_directory_matrix_cell(state, event, expected):
+    directory = directory_in_state(state)
+    msg = CoherenceMessage(
+        mtype=DIR_EVENTS[event], line=LINE, sender=3, dest=0, requester=3
+    )
+    if expected is ERROR:
+        with pytest.raises(RuntimeError):
+            directory.handle(msg)
+    else:
+        directory.handle(msg)
+
+
+# The "z" column for the directory: every request type queues in every
+# transient state reachable from a stable one.
+
+TRANSIENT_SETUPS = {
+    DirState.DI_DSD: lambda d: d.handle(_req(MsgType.REQ_SH, 1)),
+    DirState.DI_DMD: lambda d: d.handle(_req(MsgType.REQ_EX, 1)),
+    DirState.DS_DMDA: lambda d: d.handle(_req(MsgType.REQ_EX, 3)),
+    DirState.DS_DMA: lambda d: d.handle(_req(MsgType.REQ_UPG, 1)),
+    DirState.DM_DSD: lambda d: d.handle(_req(MsgType.REQ_SH, 2)),
+    DirState.DM_DMD: lambda d: d.handle(_req(MsgType.REQ_EX, 2)),
+    DirState.DM_DID: lambda d: d.replace(LINE),
+    DirState.DS_DIA: lambda d: d.replace(LINE),
+}
+
+
+def _req(mtype, sender):
+    return CoherenceMessage(
+        mtype=mtype, line=LINE, sender=sender, dest=0, requester=sender
+    )
+
+
+@pytest.mark.parametrize("transient", sorted(TRANSIENT_SETUPS, key=lambda s: s.name),
+                         ids=lambda s: s.name)
+@pytest.mark.parametrize("request_type",
+                         [MsgType.REQ_SH, MsgType.REQ_EX, MsgType.REQ_UPG],
+                         ids=lambda m: m.name)
+def test_directory_transients_queue_requests(transient, request_type):
+    """Table 2's z cells: requests arriving in any transient state are
+    deferred, never processed immediately and never dropped."""
+    start_state = {
+        DirState.DI_DSD: DirState.DI,
+        DirState.DI_DMD: DirState.DI,
+        DirState.DS_DMDA: DirState.DS,
+        DirState.DS_DMA: DirState.DS,
+        DirState.DS_DIA: DirState.DS,
+        DirState.DM_DSD: DirState.DM,
+        DirState.DM_DMD: DirState.DM,
+        DirState.DM_DID: DirState.DM,
+    }[transient]
+    directory = directory_in_state(start_state)
+    TRANSIENT_SETUPS[transient](directory)
+    assert directory.state(LINE) is transient
+    before = len(directory.entry(LINE).queued)
+    directory.handle(_req(request_type, 3))
+    assert directory.state(LINE) is transient  # unchanged
+    assert len(directory.entry(LINE).queued) == before + 1

@@ -1,0 +1,48 @@
+"""Tests for deriving the §4.3.1 bandwidth-split constants."""
+
+import pytest
+
+from repro.core.analytical import (
+    bandwidth_constants,
+    optimal_meta_bandwidth,
+)
+
+
+class TestDerivation:
+    def test_paper_mix_reproduces_paper_optimum(self):
+        """The measured ~2:1 meta:data mix lands B_M at the paper's 0.285."""
+        constants = bandwidth_constants(2000, 1000)
+        assert optimal_meta_bandwidth(constants) == pytest.approx(0.285, abs=0.01)
+
+    def test_more_meta_traffic_shifts_optimum_up(self):
+        heavy_meta = optimal_meta_bandwidth(bandwidth_constants(4000, 1000))
+        balanced = optimal_meta_bandwidth(bandwidth_constants(2000, 1000))
+        heavy_data = optimal_meta_bandwidth(bandwidth_constants(1000, 1000))
+        assert heavy_meta > balanced > heavy_data
+
+    def test_constants_positive(self):
+        assert all(c > 0 for c in bandwidth_constants(100, 100))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bandwidth_constants(0, 0)
+        with pytest.raises(ValueError):
+            bandwidth_constants(-1, 5)
+
+
+class TestFromMeasuredRun:
+    def test_cmp_mix_yields_paper_band(self):
+        """Close the loop: derive the constants from an actual 16-node
+        FSOI run's packet mix and check the optimum motivates the
+        3-meta / 6-data VCSEL split."""
+        from repro.cmp import run_app
+
+        result = run_app("ba", "fsoi", num_nodes=16, cycles=4000)
+        meta = result.fsoi["meta_transmissions"]
+        data = result.fsoi["data_transmissions"]
+        assert meta > data > 0  # requests/acks outnumber data replies
+        constants = bandwidth_constants(meta, data)
+        optimum = optimal_meta_bandwidth(constants)
+        assert 0.22 < optimum < 0.38
+        # 3/9 is the nearest feasible integer split.
+        assert abs(3 / 9 - optimum) < abs(5 / 9 - optimum)

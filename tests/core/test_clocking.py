@@ -1,0 +1,58 @@
+"""Tests for the §4.2 chip-synchronous timing budget."""
+
+import pytest
+
+from repro.core.clocking import ClockDistribution, TimingBudget
+
+
+class TestTimingBudget:
+    def test_uncertainty_composition(self):
+        budget = TimingBudget(
+            bit_period=25e-12,
+            skew=1e-12,
+            total_jitter_rms=1e-12,
+            residual_path_skew=2e-12,
+        )
+        assert budget.uncertainty == pytest.approx(1e-12 + 2e-12 + 7e-12)
+
+    def test_margin_sign_matches_closes(self):
+        tight = TimingBudget(25e-12, 20e-12, 1e-12, 2e-12)
+        loose = TimingBudget(25e-12, 1e-12, 0.3e-12, 1e-12)
+        assert not tight.closes and tight.margin < 0
+        assert loose.closes and loose.margin > 0
+
+
+class TestClockDistribution:
+    def test_paper_assumption_holds_optically(self):
+        """§4.2: chip-synchronous 40 Gbps sampling closes with an
+        optically distributed clock."""
+        assert ClockDistribution(optical=True).budget().closes
+
+    def test_electrical_tree_fails_at_40gbps(self):
+        """...and would not with a conventional global electrical tree —
+        the quantitative reason the paper suggests optical clocking."""
+        assert not ClockDistribution(optical=False).budget().closes
+
+    def test_optical_skew_advantage(self):
+        optical = ClockDistribution(optical=True)
+        electrical = ClockDistribution(optical=False)
+        assert optical.skew < electrical.skew
+
+    def test_max_rate_ordering(self):
+        optical = ClockDistribution(optical=True).max_data_rate()
+        electrical = ClockDistribution(optical=False).max_data_rate()
+        assert optical >= 40e9  # covers the Table 1 operating point
+        assert electrical < 25e9
+
+    def test_jitter_adds_in_quadrature(self):
+        import math
+
+        dist = ClockDistribution()
+        link_jitter = dist.link.random_jitter_rms()
+        expected = math.hypot(dist.source_jitter_rms, link_jitter)
+        assert dist.total_jitter_rms() == pytest.approx(expected)
+
+    def test_worse_delay_lines_shrink_margin(self):
+        fine = ClockDistribution(delay_line_resolution=1e-12)
+        coarse = ClockDistribution(delay_line_resolution=4e-12)
+        assert coarse.budget().margin < fine.budget().margin

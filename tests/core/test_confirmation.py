@@ -1,0 +1,78 @@
+"""Tests for the confirmation channel and mini-cycle reservations."""
+
+import pytest
+
+from repro.core.confirmation import ConfirmationChannel, MiniCycleReservations
+
+
+class TestConfirmationChannel:
+    def test_fixed_delay(self):
+        channel = ConfirmationChannel(4, delay=2)
+        fired = []
+        arrival = channel.send_confirmation(10, lambda: fired.append("ok"))
+        assert arrival == 12
+        channel.tick(11)
+        assert fired == []
+        channel.tick(12)
+        assert fired == ["ok"]
+
+    def test_insertion_order_within_cycle(self):
+        channel = ConfirmationChannel(4)
+        fired = []
+        channel.send_confirmation(5, lambda: fired.append("a"))
+        channel.send_confirmation(5, lambda: fired.append("b"))
+        channel.tick(7)
+        assert fired == ["a", "b"]
+
+    def test_counts_confirmations_and_signals(self):
+        channel = ConfirmationChannel(4)
+        channel.send_confirmation(0, lambda: None)
+        channel.send_signal(0, lambda: None)
+        channel.send_signal(0, lambda: None)
+        assert channel.confirmations_sent == 1
+        assert channel.signals_sent == 2
+
+    def test_pending_drains(self):
+        channel = ConfirmationChannel(4)
+        channel.send_confirmation(0, lambda: None)
+        assert channel.pending() == 1
+        channel.tick(2)
+        assert channel.pending() == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ConfirmationChannel(4, delay=0)
+
+
+class TestMiniCycleReservations:
+    def test_reserve_distinct_slots(self):
+        table = MiniCycleReservations(mini_cycles=12)
+        slots = {table.reserve(f"lock{i}") for i in range(12)}
+        assert slots == set(range(12))
+
+    def test_exhaustion_returns_none(self):
+        table = MiniCycleReservations(mini_cycles=2)
+        table.reserve("a")
+        table.reserve("b")
+        assert table.reserve("c") is None
+
+    def test_rereserve_same_owner(self):
+        table = MiniCycleReservations()
+        first = table.reserve("a")
+        assert table.reserve("a") == first
+        assert table.free_slots == 11
+
+    def test_release_frees_slot(self):
+        table = MiniCycleReservations(mini_cycles=1)
+        table.reserve("a")
+        table.release("a")
+        assert table.reserve("b") == 0
+
+    def test_release_unknown_is_noop(self):
+        MiniCycleReservations().release("ghost")
+
+    def test_slot_of(self):
+        table = MiniCycleReservations()
+        slot = table.reserve("x")
+        assert table.slot_of("x") == slot
+        assert table.slot_of("y") is None

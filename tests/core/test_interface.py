@@ -1,0 +1,93 @@
+"""Tests for the shared Interconnect base class and its statistics."""
+
+import pytest
+
+from repro.net.interface import Interconnect, InterconnectStats
+from repro.net.packet import LaneKind, Packet
+
+
+class _Null(Interconnect):
+    """Minimal concrete network: delivers on demand."""
+
+    def try_send(self, packet, cycle):
+        packet.enqueue_cycle = cycle
+        packet.scheduled_cycle = cycle
+        self.stats.sent.add()
+        return True
+
+    def tick(self, cycle):
+        pass
+
+    def force_deliver(self, packet, cycle):
+        packet.first_tx_cycle = packet.scheduled_cycle
+        packet.final_tx_cycle = packet.scheduled_cycle
+        self._deliver(packet, cycle)
+
+
+class TestBaseClass:
+    def test_requires_two_nodes(self):
+        with pytest.raises(ValueError):
+            _Null(1)
+
+    def test_callback_invoked_on_delivery(self):
+        net = _Null(4)
+        seen = []
+        net.set_delivery_callback(2, seen.append)
+        p = Packet(src=0, dst=2, lane=LaneKind.META)
+        net.try_send(p, 0)
+        net.force_deliver(p, 5)
+        assert seen == [p]
+        assert p.deliver_cycle == 5
+
+    def test_missing_callback_is_fine(self):
+        net = _Null(4)
+        p = Packet(src=0, dst=1, lane=LaneKind.META)
+        net.try_send(p, 0)
+        net.force_deliver(p, 3)  # no callback installed: no crash
+        assert int(net.stats.delivered) == 1
+
+    def test_node_range_checked(self):
+        net = _Null(4)
+        with pytest.raises(ValueError):
+            net.set_delivery_callback(4, lambda p: None)
+        with pytest.raises(ValueError):
+            net.can_accept(-1, LaneKind.META)
+
+    def test_quiescent_default(self):
+        net = _Null(4)
+        assert net.quiescent()
+        p = Packet(src=0, dst=1, lane=LaneKind.META)
+        net.try_send(p, 0)
+        assert not net.quiescent()
+        net.force_deliver(p, 1)
+        assert net.quiescent()
+
+
+class TestStats:
+    def test_breakdown_fields(self):
+        stats = InterconnectStats()
+        p = Packet(src=0, dst=1, lane=LaneKind.META)
+        p.enqueue_cycle = 0
+        p.scheduled_cycle = 2
+        p.first_tx_cycle = 4
+        p.final_tx_cycle = 8
+        p.deliver_cycle = 10
+        stats.record_delivery(p)
+        breakdown = stats.breakdown()
+        assert breakdown["scheduling"] == 2
+        assert breakdown["queuing"] == 2
+        assert breakdown["collision_resolution"] == 4
+        assert breakdown["network"] == 2
+        assert breakdown["total"] == 10
+
+    def test_means_accumulate(self):
+        stats = InterconnectStats()
+        for total in (10, 20):
+            p = Packet(src=0, dst=1, lane=LaneKind.META)
+            p.enqueue_cycle = 0
+            p.scheduled_cycle = 0
+            p.first_tx_cycle = 0
+            p.final_tx_cycle = 0
+            p.deliver_cycle = total
+            stats.record_delivery(p)
+        assert stats.breakdown()["total"] == 15

@@ -1,0 +1,86 @@
+"""Tests for the Figure 1c chip layout model."""
+
+import math
+
+import pytest
+
+from repro.core.layout import ChipLayout
+from repro.util.units import CM
+
+
+class TestGeometry:
+    layout = ChipLayout(num_nodes=16, chip_width=1.4 * CM)
+
+    def test_requires_square(self):
+        with pytest.raises(ValueError):
+            ChipLayout(num_nodes=12)
+        with pytest.raises(ValueError):
+            ChipLayout(chip_width=0)
+
+    def test_positions_inside_die(self):
+        for node in range(16):
+            x, y = self.layout.position(node)
+            assert 0 < x < 1.4 * CM
+            assert 0 < y < 1.4 * CM
+
+    def test_position_bounds_checked(self):
+        with pytest.raises(ValueError):
+            self.layout.position(16)
+
+    def test_distance_symmetric(self):
+        assert self.layout.distance(0, 5) == self.layout.distance(5, 0)
+
+    def test_no_hop_to_self(self):
+        with pytest.raises(ValueError):
+            self.layout.distance(3, 3)
+
+    def test_diagonal_is_longest(self):
+        corner = self.layout.distance(0, 15)
+        for src in range(16):
+            for dst in range(src + 1, 16):
+                assert self.layout.distance(src, dst) <= corner + 1e-12
+
+    def test_adjacent_distance_is_pitch(self):
+        pitch = 1.4 * CM / 4
+        assert self.layout.distance(0, 1) == pytest.approx(pitch)
+
+    def test_diagonal_value(self):
+        expected = math.hypot(3, 3) * (1.4 * CM / 4)
+        assert self.layout.distance(0, 15) == pytest.approx(expected)
+
+
+class TestLinkClosure:
+    def test_default_layout_closes(self):
+        assert ChipLayout().all_links_close()
+
+    def test_oversized_die_fails(self):
+        # A 5 cm die puts the diagonal far beyond the 2 cm budget.
+        assert not ChipLayout(chip_width=5 * CM).all_links_close()
+
+    def test_worst_pair_loss_exceeds_best(self):
+        layout = ChipLayout()
+        losses = layout.loss_table()
+        assert losses[layout.worst_pair()] == max(losses.values())
+
+    def test_loss_monotone_in_distance(self):
+        layout = ChipLayout()
+        near = layout.path_for(0, 1).loss_db()
+        far = layout.path_for(0, 15).loss_db()
+        assert far > near
+
+
+class TestSynchrony:
+    def test_padding_matches_paper_footnote(self):
+        # §4.2 fn. 2: skews equivalent to ~3 communication cycles.
+        assert 1 <= ChipLayout().max_padding_bits() <= 4
+
+    def test_worst_pair_needs_no_padding(self):
+        layout = ChipLayout()
+        assert layout.padding_bits(*layout.worst_pair()) == 0
+
+
+class TestMirrors:
+    def test_mirror_budget(self):
+        # §3.2: at most ~n^2 fixed mirrors (times per-hop bounces).
+        layout = ChipLayout(num_nodes=16)
+        assert layout.mirror_count() == 16 * 15 * 2

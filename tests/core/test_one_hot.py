@@ -1,0 +1,64 @@
+"""Tests for the one-hot PID encoding (paper footnote 7)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.network import FsoiConfig, FsoiNetwork
+from repro.core.optimizations import OptimizationConfig
+from repro.net.packet import LaneKind, Packet, merged_one_hot, one_hot_senders
+
+
+class TestEncoding:
+    def test_single_sender(self):
+        assert one_hot_senders(merged_one_hot([3], 8), 8) == [3]
+
+    def test_exact_decoding(self):
+        merged = merged_one_hot([1, 4, 6], 8)
+        assert one_hot_senders(merged, 8) == [1, 4, 6]
+
+    @given(st.sets(st.integers(min_value=0, max_value=15), min_size=1, max_size=8))
+    def test_roundtrip_is_exact(self, senders):
+        """Unlike PID/~PID, one-hot decoding never includes innocents."""
+        merged = merged_one_hot(senders, 16)
+        assert set(one_hot_senders(merged, 16)) == senders
+
+    def test_out_of_range_sender(self):
+        with pytest.raises(ValueError):
+            merged_one_hot([8], 8)
+
+    def test_bad_pattern(self):
+        with pytest.raises(ValueError):
+            one_hot_senders(1 << 8, 8)
+
+
+class TestNetworkIntegration:
+    def _collide(self, one_hot):
+        config = FsoiConfig(
+            num_nodes=4,
+            optimizations=OptimizationConfig(resolution_hints=True),
+            one_hot_pid=one_hot,
+            seed=11,
+        )
+        net = FsoiNetwork(config)
+        # Senders 0 and 2 share destination 3's receiver 0.
+        a = Packet(src=0, dst=3, lane=LaneKind.DATA)
+        b = Packet(src=2, dst=3, lane=LaneKind.DATA)
+        net.try_send(a, 0)
+        net.try_send(b, 0)
+        for cycle in range(120):
+            net.tick(cycle)
+        return net
+
+    def test_one_hot_hints_always_correct(self):
+        net = self._collide(one_hot=True)
+        hints = net.hint_summary()
+        assert hints["issued"] == 1
+        assert hints["correct"] == 1
+        assert hints["wrong_winner"] == 0
+        assert hints["ignored"] == 0
+
+    def test_both_encodings_deliver(self):
+        for one_hot in (False, True):
+            net = self._collide(one_hot=one_hot)
+            assert int(net.stats.delivered) == 2

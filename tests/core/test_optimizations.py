@@ -1,0 +1,94 @@
+"""Tests for §5 optimization machinery (flags, reservations, expectations)."""
+
+import pytest
+
+from repro.core.optimizations import (
+    ExpectedReplies,
+    OptimizationConfig,
+    SlotReservations,
+)
+
+
+class TestOptimizationConfig:
+    def test_none_disables_everything(self):
+        opts = OptimizationConfig.none()
+        assert not any(
+            (
+                opts.confirmation_ack,
+                opts.llsc_subscription,
+                opts.request_spacing,
+                opts.resolution_hints,
+                opts.split_writeback,
+            )
+        )
+
+    def test_all_enables_everything(self):
+        opts = OptimizationConfig.all()
+        assert all(
+            (
+                opts.confirmation_ack,
+                opts.llsc_subscription,
+                opts.request_spacing,
+                opts.resolution_hints,
+                opts.split_writeback,
+            )
+        )
+
+    def test_individually_selectable(self):
+        opts = OptimizationConfig(resolution_hints=True)
+        assert opts.resolution_hints and not opts.request_spacing
+
+
+class TestSlotReservations:
+    def test_reserve_then_conflict(self):
+        table = SlotReservations()
+        assert table.reserve(10)
+        assert not table.reserve(10)
+
+    def test_next_free_skips_reserved(self):
+        table = SlotReservations()
+        table.reserve(5)
+        table.reserve(6)
+        assert table.next_free(5) == 7
+        assert table.next_free(4) == 4
+
+    def test_prune_drops_stale(self):
+        table = SlotReservations(horizon_slots=4)
+        table.reserve(0)
+        table.reserve(100)
+        table.prune(100)
+        assert table.live_count == 1
+        assert table.reserve(0)  # stale slot reusable
+
+    def test_is_reserved(self):
+        table = SlotReservations()
+        table.reserve(3)
+        assert table.is_reserved(3)
+        assert not table.is_reserved(4)
+
+
+class TestExpectedReplies:
+    def test_expect_and_fulfil(self):
+        expected = ExpectedReplies()
+        expected.expect(4)
+        assert expected.is_expected(4)
+        expected.fulfil(4)
+        assert not expected.is_expected(4)
+
+    def test_counts_multiple(self):
+        expected = ExpectedReplies()
+        expected.expect(4)
+        expected.expect(4)
+        expected.fulfil(4)
+        assert expected.is_expected(4)
+        expected.fulfil(4)
+        assert not expected.is_expected(4)
+
+    def test_fulfil_unknown_is_noop(self):
+        ExpectedReplies().fulfil(9)
+
+    def test_expected_nodes(self):
+        expected = ExpectedReplies()
+        expected.expect(1)
+        expected.expect(5)
+        assert expected.expected_nodes() == {1, 5}

@@ -1,0 +1,101 @@
+"""Tests for packets and the PID/~PID collision-detection code."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.packet import (
+    DATA_PACKET_BITS,
+    META_PACKET_BITS,
+    LaneKind,
+    Packet,
+    candidate_senders,
+    collision_detected,
+    merged_header,
+)
+
+
+class TestPacketSizes:
+    def test_table3_sizes(self):
+        assert META_PACKET_BITS == 72
+        assert DATA_PACKET_BITS == 360
+        assert LaneKind.META.flits == 1
+        assert LaneKind.DATA.flits == 5
+
+    def test_packet_bits_follow_lane(self):
+        p = Packet(src=0, dst=1, lane=LaneKind.DATA)
+        assert p.bits == 360 and p.flits == 5
+
+    def test_self_packet_rejected(self):
+        with pytest.raises(ValueError):
+            Packet(src=2, dst=2, lane=LaneKind.META)
+
+    def test_negative_node_rejected(self):
+        with pytest.raises(ValueError):
+            Packet(src=-1, dst=2, lane=LaneKind.META)
+
+    def test_uids_unique(self):
+        a = Packet(src=0, dst=1, lane=LaneKind.META)
+        b = Packet(src=0, dst=1, lane=LaneKind.META)
+        assert a.uid != b.uid
+
+
+class TestLatencyComponents:
+    def test_components_sum_to_total(self):
+        p = Packet(src=0, dst=1, lane=LaneKind.META)
+        p.enqueue_cycle = 10
+        p.scheduled_cycle = 12   # 2 cycles of intentional spacing
+        p.first_tx_cycle = 16    # 4 cycles queued
+        p.final_tx_cycle = 24    # 8 cycles of collision resolution
+        p.deliver_cycle = 27     # 3 cycles in the network
+        assert p.scheduling_delay == 2
+        assert p.queuing_delay == 4
+        assert p.resolution_delay == 8
+        assert p.network_delay == 3
+        assert p.total_delay == 17
+        assert (
+            p.scheduling_delay + p.queuing_delay + p.resolution_delay + p.network_delay
+            == p.total_delay
+        )
+
+
+class TestPidCode:
+    def test_single_sender_consistent(self):
+        pid, pidc = merged_header([5], id_bits=4)
+        assert not collision_detected(pid, pidc)
+        assert pid == 5 and pidc == 0b1010
+
+    def test_two_senders_always_detected(self):
+        for a in range(8):
+            for b in range(8):
+                if a == b:
+                    continue
+                assert collision_detected(*merged_header([a, b], id_bits=3))
+
+    def test_id_width_checked(self):
+        with pytest.raises(ValueError):
+            merged_header([9], id_bits=3)
+
+    @given(st.sets(st.integers(min_value=0, max_value=63), min_size=2, max_size=6))
+    def test_any_multiway_collision_detected(self, senders):
+        assert collision_detected(*merged_header(senders, id_bits=6))
+
+    @given(st.sets(st.integers(min_value=0, max_value=63), min_size=1, max_size=6))
+    def test_candidates_superset_of_participants(self, senders):
+        """§5.2: the candidate set always contains all true colliders."""
+        pid, pidc = merged_header(senders, id_bits=6)
+        candidates = candidate_senders(pid, pidc, range(64), id_bits=6)
+        assert senders.issubset(set(candidates))
+
+    def test_candidates_exact_for_single_sender(self):
+        pid, pidc = merged_header([42], id_bits=6)
+        assert candidate_senders(pid, pidc, range(64), id_bits=6) == [42]
+
+    def test_candidates_can_include_innocents(self):
+        # 0b01 and 0b10 merge to pid=0b11, pidc=0b11: every 2-bit id fits.
+        pid, pidc = merged_header([1, 2], id_bits=2)
+        assert candidate_senders(pid, pidc, range(4), id_bits=2) == [0, 1, 2, 3]
+
+    def test_candidates_validates_ids(self):
+        with pytest.raises(ValueError):
+            candidate_senders(1, 2, [99], id_bits=3)

@@ -1,0 +1,108 @@
+"""Tests for the lane serializer/deserializer."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.serializer import LaneDeserializer, LaneSerializer, mini_cycle_of
+from repro.net.packet import DATA_PACKET_BITS, META_PACKET_BITS
+
+
+class TestMiniCycles:
+    def test_first_bit(self):
+        assert mini_cycle_of(0) == (0, 0)
+
+    def test_wraps_at_twelve(self):
+        assert mini_cycle_of(11) == (0, 11)
+        assert mini_cycle_of(12) == (1, 0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mini_cycle_of(-1)
+        with pytest.raises(ValueError):
+            mini_cycle_of(0, bits_per_cycle=0)
+
+
+class TestLatency:
+    def test_table3_slot_lengths(self):
+        # The serializer independently re-derives the lane slot lengths.
+        assert LaneSerializer(vcsels=3).cycles_for(META_PACKET_BITS) == 2
+        assert LaneSerializer(vcsels=6).cycles_for(DATA_PACKET_BITS) == 5
+
+    def test_padding_can_add_a_cycle(self):
+        tight = LaneSerializer(vcsels=3, padding_bits=0)
+        padded = LaneSerializer(vcsels=3, padding_bits=1)
+        assert tight.cycles_for(72) == 2
+        assert padded.cycles_for(72) == 3  # 73 bits > 2 x 36
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LaneSerializer(vcsels=0)
+        with pytest.raises(ValueError):
+            LaneSerializer(padding_bits=-1)
+        with pytest.raises(ValueError):
+            LaneSerializer().cycles_for(0)
+
+
+class TestDataIntegrity:
+    def test_known_pattern(self):
+        serializer = LaneSerializer(vcsels=3)
+        payload = 0xDEADBEEFCAFE123455  # 72-bit pattern (18 hex digits)
+        frames = serializer.serialize(payload, 72)
+        assert len(frames) == 2
+        recovered = LaneDeserializer(serializer).deserialize(frames, 72)
+        assert recovered == payload
+
+    def test_frames_shape(self):
+        frames = LaneSerializer(vcsels=6).serialize((1 << 360) - 1, 360)
+        assert len(frames) == 5
+        assert all(len(frame) == 6 for frame in frames)
+        assert all(word == 0xFFF for frame in frames for word in frame)
+
+    @given(
+        st.integers(min_value=0, max_value=(1 << 72) - 1),
+        st.integers(min_value=0, max_value=5),
+    )
+    def test_roundtrip_any_payload(self, payload, padding):
+        serializer = LaneSerializer(vcsels=3, padding_bits=padding)
+        frames = serializer.serialize(payload, 72)
+        assert LaneDeserializer(serializer).deserialize(frames, 72) == payload
+
+    @given(st.integers(min_value=0, max_value=(1 << 360) - 1))
+    def test_roundtrip_data_packets(self, payload):
+        serializer = LaneSerializer(vcsels=6)
+        frames = serializer.serialize(payload, 360)
+        assert LaneDeserializer(serializer).deserialize(frames, 360) == payload
+
+    def test_payload_width_checked(self):
+        with pytest.raises(ValueError):
+            LaneSerializer().serialize(1 << 72, 72)
+
+    def test_frame_shape_checked(self):
+        serializer = LaneSerializer(vcsels=3)
+        frames = serializer.serialize(5, 72)
+        with pytest.raises(ValueError):
+            LaneDeserializer(serializer).deserialize(
+                [frame[:-1] for frame in frames], 72
+            )
+
+    def test_word_range_checked(self):
+        serializer = LaneSerializer(vcsels=3)
+        frames = serializer.serialize(5, 72)
+        frames[0][0] = 1 << 12
+        with pytest.raises(ValueError):
+            LaneDeserializer(serializer).deserialize(frames, 72)
+
+
+class TestSkewIntegration:
+    def test_layout_padding_roundtrips(self):
+        """Padding derived from real chip geometry still round-trips."""
+        from repro.core.layout import ChipLayout
+
+        layout = ChipLayout()
+        padding = layout.max_padding_bits()
+        assert padding >= 1
+        serializer = LaneSerializer(vcsels=3, padding_bits=padding)
+        frames = serializer.serialize(0xABCDEF, 72)
+        recovered = LaneDeserializer(serializer).deserialize(frames, 72)
+        assert recovered == 0xABCDEF

@@ -1,0 +1,99 @@
+"""Tests for the §2 WDM feasibility model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.link import OpticalLink
+from repro.wdm import WdmBusDesign
+
+
+class TestInventory:
+    def test_rings_per_node(self):
+        # A modulator and a drop filter per wavelength per node.
+        assert WdmBusDesign(wavelengths=16).rings_per_node == 32
+
+    def test_total_rings(self):
+        assert WdmBusDesign(num_nodes=16, wavelengths=16).total_rings == 512
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WdmBusDesign(num_nodes=1)
+        with pytest.raises(ValueError):
+            WdmBusDesign(wavelengths=0)
+        with pytest.raises(ValueError):
+            WdmBusDesign(laser_efficiency=0.0)
+
+
+class TestLossBudget:
+    def test_loss_grows_with_nodes(self):
+        losses = [
+            WdmBusDesign(num_nodes=n).worst_case_loss_db() for n in (8, 16, 32)
+        ]
+        assert losses == sorted(losses)
+
+    def test_loss_grows_with_wavelengths(self):
+        few = WdmBusDesign(wavelengths=4).worst_case_loss_db()
+        many = WdmBusDesign(wavelengths=32).worst_case_loss_db()
+        assert many > few
+
+    def test_ring_passby_dominates_at_scale(self):
+        """§2: 'using multiple wavelengths exponentially amplifies the
+        losses' — the per-ring term dwarfs everything else."""
+        design = WdmBusDesign(num_nodes=64, wavelengths=16)
+        ring_term = design.ring_passby_loss_db * design.rings_on_bus
+        assert ring_term > 0.6 * design.worst_case_loss_db()
+
+    def test_sixteen_by_sixteen_does_not_close(self):
+        # The §2 argument quantified: a flat 16-node, 16-wavelength
+        # shared bus blows its power budget outright.
+        assert not WdmBusDesign(num_nodes=16, wavelengths=16).evaluate().closes
+
+    def test_small_system_closes(self):
+        assert WdmBusDesign(num_nodes=4, wavelengths=2).evaluate().closes
+
+    @given(st.integers(min_value=2, max_value=64))
+    def test_margin_decreases_with_scale(self, n):
+        small = WdmBusDesign(num_nodes=n)
+        bigger = WdmBusDesign(num_nodes=n + 8)
+        assert bigger.link_margin_db() < small.link_margin_db()
+
+
+class TestScalingCollapse:
+    def test_max_wavelengths_shrinks_with_nodes(self):
+        counts = [
+            WdmBusDesign(num_nodes=n).max_wavelengths() for n in (8, 16, 32, 64)
+        ]
+        assert counts == sorted(counts, reverse=True)
+        assert counts[-1] <= 2  # 64 nodes: the shared bus is done
+
+    def test_aggregate_bandwidth_capped(self):
+        """The §2 punchline in bandwidth terms: aggregate bandwidth of
+        the closing design *falls* as the system grows."""
+        from dataclasses import replace
+
+        def best_bandwidth(n):
+            design = WdmBusDesign(num_nodes=n)
+            usable = design.max_wavelengths()
+            if usable == 0:
+                return 0.0
+            return replace(design, wavelengths=usable).aggregate_bandwidth()
+
+        assert best_bandwidth(64) < best_bandwidth(16) < best_bandwidth(8)
+
+
+class TestFsoiContrast:
+    def test_fsoi_loss_constant_in_scale(self):
+        """FSOI's whole §2 rebuttal: its hop loss is a property of the
+        die geometry (2.6 dB), not of how many nodes share a medium."""
+        fsoi_loss = OpticalLink().path.loss_db()
+        wdm_16 = WdmBusDesign(num_nodes=16).worst_case_loss_db()
+        wdm_64 = WdmBusDesign(num_nodes=64).worst_case_loss_db()
+        assert fsoi_loss < 3.0
+        assert wdm_16 > 10 * fsoi_loss
+        assert wdm_64 > 25 * fsoi_loss
+
+    def test_fsoi_needs_no_tuning_power(self):
+        # Every WDM ring is thermally stabilized; FSOI has no resonant
+        # device to tune.  At 64 nodes that's watts of static power.
+        assert WdmBusDesign(num_nodes=64).tuning_power() > 2.0

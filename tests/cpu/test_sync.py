@@ -1,0 +1,103 @@
+"""Tests for the synchronization coordinator."""
+
+import pytest
+
+from repro.cpu.sync import SYNC_LINE_BASE, SyncManager
+
+
+class TestAddresses:
+    def test_sync_lines_outside_data_regions(self):
+        assert SyncManager.barrier_line() >= SYNC_LINE_BASE
+        assert SyncManager.lock_line(5) >= SYNC_LINE_BASE
+
+    def test_lock_lines_distinct(self):
+        lines = {SyncManager.lock_line(i) for i in range(16)}
+        assert len(lines) == 16
+        assert SyncManager.barrier_line() not in lines
+
+
+class TestBarrier:
+    def test_epoch_advances_when_all_arrive(self):
+        sync = SyncManager(3)
+        epochs = [sync.barrier_arrive(n) for n in range(3)]
+        assert epochs == [0, 0, 0]
+        assert sync.barrier_released(0)
+        assert not sync.barrier_released(1)
+        assert sync.barriers_completed == 1
+
+    def test_double_arrival_counts_once(self):
+        sync = SyncManager(3)
+        sync.barrier_arrive(0)
+        sync.barrier_arrive(0)
+        assert not sync.barrier_released(0)
+
+    def test_release_callback(self):
+        sync = SyncManager(2)
+        released = []
+        sync.on_barrier_release = released.append
+        sync.barrier_arrive(0)
+        sync.barrier_arrive(1)
+        assert released == [0]
+
+    def test_second_epoch(self):
+        sync = SyncManager(2)
+        for _round in range(2):
+            sync.barrier_arrive(0)
+            sync.barrier_arrive(1)
+        assert sync.barriers_completed == 2
+        assert sync.barrier_released(1)
+
+
+class TestLocks:
+    def test_acquire_free_lock(self):
+        sync = SyncManager(4)
+        assert sync.try_acquire(0, 1)
+        assert sync.holder(0) == 1
+
+    def test_contention_registers_waiter(self):
+        sync = SyncManager(4)
+        sync.try_acquire(0, 1)
+        assert not sync.try_acquire(0, 2)
+        assert sync.lock_retries == 1
+
+    def test_release_returns_waiters(self):
+        sync = SyncManager(4)
+        sync.try_acquire(0, 1)
+        sync.try_acquire(0, 2)
+        sync.try_acquire(0, 3)
+        assert sync.release(0, 1) == [2, 3]
+        assert sync.holder(0) == -1
+
+    def test_release_bumps_generation(self):
+        sync = SyncManager(4)
+        sync.try_acquire(0, 1)
+        generation = sync.lock_generation(0)
+        sync.release(0, 1)
+        assert sync.lock_generation(0) == generation + 1
+
+    def test_wrong_releaser_rejected(self):
+        sync = SyncManager(4)
+        sync.try_acquire(0, 1)
+        with pytest.raises(RuntimeError):
+            sync.release(0, 2)
+
+    def test_release_callback_with_waiters(self):
+        sync = SyncManager(4)
+        notified = []
+        sync.on_lock_release = lambda lock, waiters: notified.append((lock, waiters))
+        sync.try_acquire(3, 1)
+        sync.try_acquire(3, 2)
+        sync.release(3, 1)
+        assert notified == [(3, [2])]
+
+    def test_locks_independent(self):
+        sync = SyncManager(4)
+        assert sync.try_acquire(0, 1)
+        assert sync.try_acquire(1, 2)
+
+    def test_reacquire_after_release(self):
+        sync = SyncManager(4)
+        sync.try_acquire(0, 1)
+        sync.release(0, 1)
+        assert sync.try_acquire(0, 2)
+        assert sync.lock_acquisitions == 2

@@ -1,0 +1,57 @@
+"""Calibration pins: measured workload behaviour matches its signature.
+
+These tests guard the substitution contract of DESIGN.md — each
+application signature must actually produce the miss rate it encodes,
+across the whole suite, so the speedup spread stays anchored to the
+paper's reported characteristics.
+"""
+
+import pytest
+
+from repro.cmp import run_app
+from repro.workloads import APPLICATIONS
+
+
+def measured_miss_rate(result) -> float:
+    l1 = result.l1
+    accesses = sum(
+        l1[k]
+        for k in ("read_hits", "write_hits", "read_misses", "write_misses",
+                  "upgrades")
+    )
+    misses = l1["read_misses"] + l1["write_misses"] + l1["upgrades"]
+    return misses / max(1, accesses)
+
+
+def signature_target(sig) -> float:
+    private = 1 - sig.shared_fraction - sig.stream_fraction
+    return (
+        sig.shared_fraction * 0.9
+        + sig.stream_fraction
+        + private * sig.private_cold_fraction
+    )
+
+
+@pytest.mark.parametrize("label", sorted(APPLICATIONS))
+def test_measured_miss_rate_tracks_target(label):
+    sig = APPLICATIONS[label]
+    result = run_app(label, "l0", num_nodes=16, cycles=3000)
+    measured = measured_miss_rate(result)
+    target = signature_target(sig)
+    # Shared-pool dynamics, sync spinning and hot-set displacement add
+    # noise; the contract is a broad band around the target.
+    assert measured == pytest.approx(target, rel=0.45), (
+        f"{label}: measured {measured:.4f} vs target {target:.4f}"
+    )
+
+
+def test_suite_average_in_paper_band():
+    """§6: the suite-wide average miss rate is ~4.8% (range 0.8-15.6%)."""
+    rates = [
+        measured_miss_rate(run_app(label, "l0", num_nodes=16, cycles=3000))
+        for label in sorted(APPLICATIONS)
+    ]
+    average = sum(rates) / len(rates)
+    assert 0.03 < average < 0.075
+    assert min(rates) < 0.02
+    assert 0.10 < max(rates) < 0.22

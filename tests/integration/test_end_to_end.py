@@ -1,0 +1,112 @@
+"""End-to-end sanity: every application on every network makes progress,
+and the paper's headline orderings hold on short runs."""
+
+import pytest
+
+from repro.cmp import run_app
+from repro.workloads import APPLICATIONS
+
+CYCLES = 2500
+
+
+@pytest.mark.parametrize("app", sorted(APPLICATIONS))
+def test_every_app_runs_on_fsoi(app):
+    result = run_app(app, "fsoi", num_nodes=16, cycles=CYCLES)
+    assert result.instructions > 0
+    assert result.packets_delivered > 0
+    assert all(count >= 0 for count in result.instructions_per_core)
+
+
+@pytest.mark.parametrize("network", ["mesh", "l0", "lr1", "lr2", "corona"])
+def test_every_network_runs_ocean(network):
+    result = run_app("oc", network, num_nodes=16, cycles=CYCLES)
+    assert result.instructions > 0
+    assert result.packets_delivered > 0
+
+
+class TestHeadlineOrderings:
+    """The qualitative results the paper's evaluation rests on."""
+
+    @pytest.fixture(scope="class")
+    def runs(self):
+        apps = ("oc", "mp")
+        nets = ("mesh", "fsoi", "l0", "lr1", "lr2")
+        return {
+            (app, net): run_app(app, net, num_nodes=16, cycles=6000)
+            for app in apps
+            for net in nets
+        }
+
+    def test_fsoi_beats_mesh(self, runs):
+        for app in ("oc", "mp"):
+            assert runs[(app, "fsoi")].ipc > runs[(app, "mesh")].ipc
+
+    def test_l0_bounds_fsoi(self, runs):
+        for app in ("oc", "mp"):
+            assert runs[(app, "l0")].ipc >= runs[(app, "fsoi")].ipc * 0.98
+
+    def test_fsoi_tracks_l0_more_closely_than_lr1(self, runs):
+        # §7.1: FSOI outperforms the aggressive Lr1/Lr2 configurations.
+        for app in ("oc", "mp"):
+            assert runs[(app, "fsoi")].ipc > runs[(app, "lr1")].ipc
+
+    def test_lr1_beats_lr2(self, runs):
+        for app in ("oc", "mp"):
+            assert runs[(app, "lr1")].ipc > runs[(app, "lr2")].ipc
+
+    def test_fsoi_latency_far_below_mesh(self, runs):
+        for app in ("oc", "mp"):
+            fsoi = runs[(app, "fsoi")].latency_breakdown["total"]
+            mesh = runs[(app, "mesh")].latency_breakdown["total"]
+            assert fsoi < mesh / 2
+
+    def test_fsoi_latency_near_paper_value(self, runs):
+        # Figure 6a: ~7.5 cycles average in the 16-node system.
+        for app in ("oc", "mp"):
+            total = runs[(app, "fsoi")].latency_breakdown["total"]
+            assert 4.0 < total < 12.0
+
+
+class TestScaling:
+    def test_64_node_gap_wider_than_16(self):
+        # Figure 7: the FSOI advantage grows with system size.
+        speedups = {}
+        for nodes in (16, 64):
+            mesh = run_app("mp", "mesh", num_nodes=nodes, cycles=4000)
+            fsoi = run_app("mp", "fsoi", num_nodes=nodes, cycles=4000)
+            speedups[nodes] = fsoi.ipc / mesh.ipc
+        assert speedups[64] > speedups[16]
+
+    def test_corona_close_but_behind_fsoi(self):
+        # §7.1: FSOI is ~1.06x a corona-style design at 64 nodes.
+        corona = run_app("mp", "corona", num_nodes=64, cycles=4000)
+        fsoi = run_app("mp", "fsoi", num_nodes=64, cycles=4000)
+        ratio = fsoi.ipc / corona.ipc
+        assert 0.98 < ratio < 1.25
+
+
+class TestCollisionBehaviour:
+    def test_collision_rates_in_paper_band(self):
+        # Figure 10 caption: data collision rate 3%..21%, avg 9.4% before
+        # optimization; meta rates a few percent.
+        result = run_app("em", "fsoi", num_nodes=16, cycles=6000)
+        assert 0.0 < result.fsoi["data_collision_rate"] < 0.25
+        assert 0.0 < result.fsoi["meta_collision_rate"] < 0.15
+
+    def test_optimizations_cut_data_collisions(self):
+        from repro.core.optimizations import OptimizationConfig
+
+        base = run_app("em", "fsoi", cycles=6000)
+        opt = run_app(
+            "em", "fsoi", cycles=6000, optimizations=OptimizationConfig.all()
+        )
+        assert (
+            opt.fsoi["data_collision_rate"] < base.fsoi["data_collision_rate"]
+        )
+
+    def test_sensitive_apps_gain_more(self):
+        light = run_app("ws", "mesh", cycles=5000)
+        light_f = run_app("ws", "fsoi", cycles=5000)
+        heavy = run_app("mp", "mesh", cycles=5000)
+        heavy_f = run_app("mp", "fsoi", cycles=5000)
+        assert heavy_f.ipc / heavy.ipc > light_f.ipc / light.ipc

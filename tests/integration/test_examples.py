@@ -1,0 +1,40 @@
+"""The example scripts must stay importable and expose a main()."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    (Path(__file__).parents[2] / "examples").glob("*.py"),
+    key=lambda p: p.name,
+)
+
+
+def load(path: Path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_examples_present():
+    names = {p.stem for p in EXAMPLES}
+    assert "quickstart" in names
+    assert len(EXAMPLES) >= 3  # the deliverable minimum
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_imports_and_has_main(path):
+    module = load(path)
+    assert callable(getattr(module, "main", None)), f"{path.name} has no main()"
+    assert module.__doc__, f"{path.name} has no module docstring"
+
+
+def test_collision_tuning_analytics_run():
+    """The cheap (analytics-only) steps of collision_tuning run fast
+    enough to exercise here."""
+    module = load(next(p for p in EXAMPLES if p.stem == "collision_tuning"))
+    module.step1_receivers()
+    module.step2_bandwidth_split()

@@ -1,0 +1,102 @@
+"""Tests for mesh topology helpers and XY routing."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.mesh.routing import (
+    Port,
+    mesh_coordinates,
+    mesh_hops,
+    mesh_side,
+    neighbor,
+    opposite,
+    xy_route,
+)
+
+
+class TestTopology:
+    def test_mesh_side(self):
+        assert mesh_side(16) == 4
+        assert mesh_side(64) == 8
+
+    def test_mesh_side_rejects_nonsquare(self):
+        with pytest.raises(ValueError):
+            mesh_side(15)
+
+    def test_coordinates_row_major(self):
+        assert mesh_coordinates(0, 4) == (0, 0)
+        assert mesh_coordinates(5, 4) == (1, 1)
+        assert mesh_coordinates(15, 4) == (3, 3)
+
+    def test_coordinates_bounds(self):
+        with pytest.raises(ValueError):
+            mesh_coordinates(16, 4)
+
+    def test_manhattan_hops(self):
+        assert mesh_hops(0, 15, 4) == 6
+        assert mesh_hops(0, 0, 4) == 0
+        assert mesh_hops(3, 12, 4) == 6
+
+    def test_neighbor_roundtrip(self):
+        assert neighbor(5, Port.EAST, 4) == 6
+        assert neighbor(6, Port.WEST, 4) == 5
+        assert neighbor(5, Port.SOUTH, 4) == 9
+        assert neighbor(9, Port.NORTH, 4) == 5
+
+    def test_neighbor_at_edge_raises(self):
+        with pytest.raises(ValueError):
+            neighbor(3, Port.EAST, 4)
+        with pytest.raises(ValueError):
+            neighbor(0, Port.NORTH, 4)
+
+    def test_local_has_no_neighbor(self):
+        with pytest.raises(ValueError):
+            neighbor(0, Port.LOCAL, 4)
+
+    def test_opposite(self):
+        assert opposite(Port.EAST) is Port.WEST
+        assert opposite(Port.NORTH) is Port.SOUTH
+        with pytest.raises(ValueError):
+            opposite(Port.LOCAL)
+
+
+class TestXyRouting:
+    def test_x_first(self):
+        # From (0,0) to (3,3): go EAST until x matches, then SOUTH.
+        assert xy_route(0, 15, 4) is Port.EAST
+        assert xy_route(3, 15, 4) is Port.SOUTH
+
+    def test_arrival_is_local(self):
+        assert xy_route(7, 7, 4) is Port.LOCAL
+
+    @given(
+        st.integers(min_value=0, max_value=15),
+        st.integers(min_value=0, max_value=15),
+    )
+    def test_route_reaches_destination_in_hop_count(self, src, dst):
+        current = src
+        steps = 0
+        while current != dst:
+            port = xy_route(current, dst, 4)
+            assert port is not Port.LOCAL
+            current = neighbor(current, port, 4)
+            steps += 1
+            assert steps <= 6  # mesh diameter
+        assert steps == mesh_hops(src, dst, 4)
+
+    @given(
+        st.integers(min_value=0, max_value=63),
+        st.integers(min_value=0, max_value=63),
+    )
+    def test_no_y_to_x_turns(self, src, dst):
+        """XY routing never turns from Y back into X (deadlock freedom)."""
+        current = src
+        seen_y = False
+        while current != dst:
+            port = xy_route(current, dst, 8)
+            if port in (Port.NORTH, Port.SOUTH):
+                seen_y = True
+            else:
+                assert not seen_y
+            current = neighbor(current, port, 8)

@@ -1,0 +1,129 @@
+"""Tests for VCSEL, photodetector, micro-lens and micro-mirror models."""
+
+import math
+
+import pytest
+
+from repro.optics.lens import MicroLens
+from repro.optics.mirror import MicroMirror, MirrorPath
+from repro.optics.photodetector import Photodetector
+from repro.optics.vcsel import Vcsel
+from repro.util.units import UM
+
+
+class TestVcsel:
+    def test_li_curve_below_threshold(self):
+        assert Vcsel().optical_power(0.0001) == 0.0
+
+    def test_li_curve_slope(self):
+        v = Vcsel()
+        p1 = v.optical_power(0.5e-3)
+        p2 = v.optical_power(0.6e-3)
+        assert (p2 - p1) / 0.1e-3 == pytest.approx(v.slope_efficiency)
+
+    def test_electrical_power_table1(self):
+        # Table 1: 0.96 mW = 0.48 mA at 2 V.
+        assert Vcsel().electrical_power == pytest.approx(0.96e-3)
+
+    def test_ook_levels_ratio_and_mean(self):
+        v = Vcsel()
+        p1, p0 = v.ook_levels()
+        assert p1 / p0 == pytest.approx(v.extinction_ratio)
+        assert (p1 + p0) / 2 == pytest.approx(v.average_optical_power)
+
+    def test_supports_40gbps(self):
+        assert Vcsel().supports_data_rate(40e9)
+
+    def test_parasitic_pole_caps_unequalized_bandwidth(self):
+        v = Vcsel()
+        assert v.modulation_bandwidth(equalized=False) < v.parasitic_pole * 1.01
+        assert v.modulation_bandwidth(equalized=False) < v.modulation_bandwidth()
+
+    def test_bandwidth_grows_with_bias(self):
+        low = Vcsel(bias_current=0.3e-3)
+        high = Vcsel(bias_current=0.9e-3)
+        assert high.modulation_bandwidth() > low.modulation_bandwidth()
+
+    def test_beam_waist_is_half_aperture(self):
+        assert Vcsel().beam_waist == pytest.approx(2.5 * UM)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Vcsel(bias_current=0.1e-3)  # below threshold
+        with pytest.raises(ValueError):
+            Vcsel(extinction_ratio=0.9)
+
+
+class TestPhotodetector:
+    def test_photocurrent_linear(self):
+        pd = Photodetector()
+        base = pd.photocurrent(0.0)
+        assert pd.photocurrent(1e-3) - base == pytest.approx(0.5e-3)
+
+    def test_rejects_negative_power(self):
+        with pytest.raises(ValueError):
+            Photodetector().photocurrent(-1e-6)
+
+    def test_quantum_efficiency_below_unity(self):
+        assert 0.0 < Photodetector().quantum_efficiency(980e-9) <= 1.0
+
+    def test_unphysical_responsivity_rejected(self):
+        with pytest.raises(ValueError):
+            Photodetector(responsivity=2.0)
+
+    def test_rc_bandwidth(self):
+        pd = Photodetector()
+        bw = pd.rc_bandwidth(50.0)
+        assert bw == pytest.approx(1 / (2 * math.pi * 50 * 100e-15))
+
+    def test_rc_bandwidth_validates_load(self):
+        with pytest.raises(ValueError):
+            Photodetector().rc_bandwidth(0.0)
+
+    def test_shot_noise_scales_sqrt(self):
+        pd = Photodetector()
+        s1 = pd.shot_noise_sigma(10e-6, 36e9)
+        s4 = pd.shot_noise_sigma(40e-6, 36e9)
+        assert s4 / s1 == pytest.approx(2.0)
+
+
+class TestMicroLens:
+    def test_defaults_match_table1_tx(self):
+        assert MicroLens().aperture == pytest.approx(90 * UM)
+
+    def test_clip_combines_aperture_and_element(self):
+        from repro.optics.gaussian import GaussianBeam
+
+        lens = MicroLens(transmission=0.9)
+        beam = GaussianBeam(waist=45e-6, wavelength=980e-9)
+        t = lens.clip(beam, 0.0)
+        assert t == pytest.approx(0.9 * (1 - math.exp(-2)), rel=1e-6)
+
+    def test_collimate_fill_factor(self):
+        from repro.optics.gaussian import GaussianBeam
+
+        beam = GaussianBeam(waist=2.5e-6, wavelength=980e-9, refractive_index=3.52)
+        out = MicroLens().collimate(beam, fill_factor=0.5)
+        assert out.waist == pytest.approx(0.5 * 45e-6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MicroLens(aperture=0)
+        with pytest.raises(ValueError):
+            MicroLens(transmission=1.5)
+
+
+class TestMirrors:
+    def test_two_bounces(self):
+        assert MirrorPath(MicroMirror(0.99), bounces=2).transmission == pytest.approx(
+            0.9801
+        )
+
+    def test_zero_bounces_lossless(self):
+        assert MirrorPath(bounces=0).transmission == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MicroMirror(reflectivity=0.0)
+        with pytest.raises(ValueError):
+            MirrorPath(bounces=-1)

@@ -1,0 +1,112 @@
+"""Tests for Gaussian beam propagation."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.optics.gaussian import GaussianBeam
+from repro.util.units import NM, UM
+
+WAVELENGTH = 980 * NM
+
+
+def beam(waist_um=45.0, n=1.0):
+    return GaussianBeam(waist=waist_um * UM, wavelength=WAVELENGTH, refractive_index=n)
+
+
+class TestGeometry:
+    def test_rayleigh_range(self):
+        b = beam(45.0)
+        expected = math.pi * (45e-6) ** 2 / WAVELENGTH
+        assert b.rayleigh_range == pytest.approx(expected)
+
+    def test_radius_at_waist(self):
+        assert beam().radius_at(0.0) == pytest.approx(45e-6)
+
+    def test_radius_at_rayleigh_range_is_sqrt2(self):
+        b = beam()
+        assert b.radius_at(b.rayleigh_range) == pytest.approx(45e-6 * math.sqrt(2))
+
+    def test_radius_monotone(self):
+        b = beam()
+        radii = [b.radius_at(z * 1e-3) for z in range(0, 30)]
+        assert radii == sorted(radii)
+
+    def test_index_slows_divergence(self):
+        in_gaas = beam(2.5, n=3.52)
+        in_air = beam(2.5, n=1.0)
+        assert in_gaas.radius_at(430e-6) < in_air.radius_at(430e-6)
+
+    def test_divergence_half_angle(self):
+        b = beam(2.5)
+        assert b.divergence_half_angle == pytest.approx(
+            WAVELENGTH / (math.pi * 2.5e-6)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GaussianBeam(waist=0, wavelength=WAVELENGTH)
+        with pytest.raises(ValueError):
+            GaussianBeam(waist=1e-6, wavelength=-1)
+        with pytest.raises(ValueError):
+            GaussianBeam(waist=1e-6, wavelength=WAVELENGTH, refractive_index=0.5)
+        with pytest.raises(ValueError):
+            beam().radius_at(-1.0)
+
+
+class TestAperture:
+    def test_transmission_in_unit_interval(self):
+        t = beam().aperture_transmission(0.02, 95e-6)
+        assert 0.0 < t < 1.0
+
+    def test_large_aperture_passes_everything(self):
+        t = beam().aperture_transmission(0.02, 5e-3)
+        assert t == pytest.approx(1.0, abs=1e-6)
+
+    def test_one_over_e2_radius_aperture(self):
+        # An aperture at the 1/e^2 radius passes 1 - e^-2 ~ 86.5%.
+        b = beam()
+        t = b.aperture_transmission(0.0, 45e-6)
+        assert t == pytest.approx(1 - math.exp(-2), rel=1e-6)
+
+    def test_rejects_bad_aperture(self):
+        with pytest.raises(ValueError):
+            beam().aperture_transmission(0.01, 0.0)
+
+    @given(
+        st.floats(min_value=1.0, max_value=100.0),
+        st.floats(min_value=0.001, max_value=0.05),
+    )
+    def test_transmission_increases_with_aperture(self, radius_um, z):
+        b = beam()
+        small = b.aperture_transmission(z, radius_um * UM)
+        large = b.aperture_transmission(z, 2 * radius_um * UM)
+        assert large >= small
+
+
+class TestOptimalWaist:
+    def test_confocal_value(self):
+        w = GaussianBeam.optimal_waist_for_range(WAVELENGTH, 0.02)
+        assert w == pytest.approx(math.sqrt(WAVELENGTH * 0.02 / math.pi))
+        assert 70e-6 < w < 90e-6  # ~79 um for the paper's 2 cm hop
+
+    @given(st.floats(min_value=10e-6, max_value=200e-6))
+    def test_is_a_minimum(self, other_waist):
+        distance = 0.02
+        best = GaussianBeam.optimal_waist_for_range(WAVELENGTH, distance)
+        ref = GaussianBeam(best, WAVELENGTH).radius_at(distance)
+        alt = GaussianBeam(other_waist, WAVELENGTH).radius_at(distance)
+        assert ref <= alt * (1 + 1e-9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GaussianBeam.optimal_waist_for_range(0, 0.02)
+
+
+class TestCollimation:
+    def test_collimated_by_resets_waist_and_medium(self):
+        b = beam(2.5, n=3.52).collimated_by(40e-6)
+        assert b.waist == 40e-6
+        assert b.refractive_index == 1.0

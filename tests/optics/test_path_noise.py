@@ -1,0 +1,103 @@
+"""Tests for the free-space path budget and the OOK noise chain."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.optics.noise import ReceiverNoise, ber_from_q, q_from_ber
+from repro.optics.path import FreeSpacePath
+from repro.util.units import CM, UM
+
+
+class TestFreeSpacePath:
+    def test_loss_matches_table1(self):
+        # Table 1: 2.6 dB optical path loss on the 2 cm diagonal.
+        assert FreeSpacePath().loss_db() == pytest.approx(2.6, abs=0.3)
+
+    def test_budget_components_compose(self):
+        path = FreeSpacePath()
+        budget = path.loss_budget()
+        parts = sum(v for k, v in budget.items() if k != "total_db")
+        assert parts == pytest.approx(budget["total_db"], abs=1e-9)
+
+    def test_receiver_clip_dominates(self):
+        budget = FreeSpacePath().loss_budget()
+        others = [v for k, v in budget.items() if k not in ("total_db", "receiver_clip_db")]
+        assert budget["receiver_clip_db"] > max(others)
+
+    def test_shorter_hop_less_loss(self):
+        assert FreeSpacePath(distance=1 * CM).loss_db() < FreeSpacePath().loss_db()
+
+    def test_bigger_receiver_lens_less_loss(self):
+        from repro.optics.lens import MicroLens
+
+        big = FreeSpacePath(rx_lens=MicroLens(aperture=300 * UM, transmission=0.995))
+        assert big.loss_db() < FreeSpacePath().loss_db()
+
+    def test_propagation_delay(self):
+        # 2 cm at the speed of light ~ 66.7 ps.
+        assert FreeSpacePath().propagation_delay() == pytest.approx(66.7e-12, rel=0.01)
+
+    def test_skew_between_paths(self):
+        long = FreeSpacePath(distance=2 * CM)
+        short = FreeSpacePath(distance=0.5 * CM)
+        skew = long.skew_versus(short)
+        assert skew == pytest.approx(1.5e-2 / 3e8, rel=0.01)
+        assert long.skew_versus(long) == 0.0
+
+    def test_substrate_clip_negligible(self):
+        # The diverging beam easily fits the 90 um lens through 430 um of GaAs.
+        assert FreeSpacePath().substrate_clip() > 0.999
+
+
+class TestOokTheory:
+    def test_q_six_point_four_is_ber_1e_10(self):
+        assert ber_from_q(6.36) == pytest.approx(1e-10, rel=0.3)
+
+    def test_ber_monotone_decreasing(self):
+        assert ber_from_q(7.0) < ber_from_q(6.0) < ber_from_q(5.0)
+
+    def test_negative_q_rejected(self):
+        with pytest.raises(ValueError):
+            ber_from_q(-1.0)
+
+    def test_q_from_ber_range_checked(self):
+        with pytest.raises(ValueError):
+            q_from_ber(0.7)
+
+    @given(st.floats(min_value=1.0, max_value=8.0))
+    def test_inverse_roundtrip(self, q):
+        assert q_from_ber(ber_from_q(q)) == pytest.approx(q, rel=1e-6)
+
+
+class TestReceiverNoise:
+    def test_thermal_sigma(self):
+        noise = ReceiverNoise(bandwidth=36e9, input_noise_density=32e-12)
+        assert noise.thermal_sigma == pytest.approx(32e-12 * 36e9**0.5)
+
+    def test_shot_noise_raises_level_sigma(self):
+        noise = ReceiverNoise()
+        assert noise.level_sigma(100e-6) > noise.level_sigma(0.0)
+
+    def test_q_improves_with_signal(self):
+        noise = ReceiverNoise()
+        assert noise.q_factor(80e-6, 8e-6) > noise.q_factor(40e-6, 4e-6)
+
+    def test_q_requires_separated_levels(self):
+        with pytest.raises(ValueError):
+            ReceiverNoise().q_factor(1e-6, 1e-6)
+
+    def test_snr_db_definition(self):
+        import math
+
+        noise = ReceiverNoise()
+        q = noise.q_factor(80e-6, 8e-6)
+        assert noise.snr_db(80e-6, 8e-6) == pytest.approx(10 * math.log10(q))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReceiverNoise(bandwidth=0)
+        with pytest.raises(ValueError):
+            ReceiverNoise(input_noise_density=0)
+        with pytest.raises(ValueError):
+            ReceiverNoise().level_sigma(-1e-6)

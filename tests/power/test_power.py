@@ -1,0 +1,136 @@
+"""Tests for the energy/power models (Figure 8)."""
+
+import pytest
+
+from repro.power.mesh_power import MeshPowerModel
+from repro.power.optical import FsoiPowerModel
+from repro.power.system import EnergyReport, SystemPowerModel
+
+
+class TestFsoiPower:
+    model = FsoiPowerModel()
+
+    def test_static_power_matches_paper(self):
+        # §7.2: "an insignificant 1.8 W of average power" for 16 nodes.
+        static = self.model.static_power(16)
+        assert 1.0 < static < 2.0
+
+    def test_energy_per_bit(self):
+        # 0.18 pJ/bit transmit energy at 40 Gbps.
+        energy = self.model.transmit_energy(1)
+        assert energy == pytest.approx(0.1815e-12, rel=0.01)
+
+    def test_receivers_always_on_dominate(self):
+        static = self.model.static_power(16)
+        rx_only = (
+            self.model.receivers_per_node() * self.model.link_power.receiver * 16
+        )
+        assert rx_only / static > 0.9
+
+    def test_average_power_includes_dynamic(self):
+        quiet = self.model.average_power(0, 10_000, 16)
+        busy = self.model.average_power(10**9, 10_000, 16)
+        assert busy > quiet
+        assert quiet == pytest.approx(self.model.static_power(16))
+
+    def test_zero_cycles(self):
+        assert self.model.average_power(0, 0, 16) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            self.model.transmit_energy(-1)
+        with pytest.raises(ValueError):
+            self.model.energy(0, -1, 16)
+
+
+class TestMeshPower:
+    model = MeshPowerModel()
+
+    def test_dynamic_energy_composition(self):
+        activity = {
+            "buffer_writes": 100,
+            "buffer_reads": 100,
+            "flits_routed": 100,
+            "link_flits": 100,
+        }
+        energy = self.model.dynamic_energy(activity)
+        per_flit = (2.0 + 1.5 + 3.0 + 0.3 + 5.0) * 1e-12
+        assert energy == pytest.approx(100 * per_flit)
+
+    def test_static_dominates_at_low_activity(self):
+        activity = {"buffer_writes": 10, "buffer_reads": 10, "flits_routed": 10, "link_flits": 10}
+        total = self.model.energy(activity, 10_000, 16)
+        static = self.model.static_power(16) * 10_000 / 3.3e9
+        assert static / total > 0.99
+
+    def test_network_gap_versus_fsoi(self):
+        # Figure 8: mesh network energy ~20x the FSOI subsystem.
+        seconds_cycles = 100_000
+        mesh = self.model.energy({}, seconds_cycles, 16)
+        fsoi = FsoiPowerModel().energy(10**7, seconds_cycles, 16)
+        assert 10 < mesh / fsoi < 40
+
+
+class TestEnergyReport:
+    def make_report(self, network=1.0, core=10.0, leak=5.0, seconds=1.0, instr=100):
+        return EnergyReport(
+            network_energy=network,
+            core_energy=core,
+            leakage_energy=leak,
+            seconds=seconds,
+            instructions=instr,
+        )
+
+    def test_total_and_power(self):
+        report = self.make_report()
+        assert report.total_energy == 16.0
+        assert report.average_power == 16.0
+
+    def test_edp_scales_with_time_squared(self):
+        fast = self.make_report(seconds=1.0)
+        slow = self.make_report(seconds=2.0)
+        assert slow.energy_delay_product() == 2 * fast.energy_delay_product()
+
+    def test_relative_to_normalizes_work(self):
+        baseline = self.make_report(instr=100)
+        faster = self.make_report(network=0.5, core=5.0, leak=2.5, instr=200)
+        rel = faster.relative_to(baseline)
+        # Half the energy for twice the work -> quarter relative energy.
+        assert rel["total"] == pytest.approx(0.25)
+        assert rel["network"] + rel["core_cache"] + rel["leakage"] == pytest.approx(
+            rel["total"]
+        )
+
+    def test_relative_requires_progress(self):
+        with pytest.raises(ValueError):
+            self.make_report().relative_to(self.make_report(instr=0))
+
+
+class TestSystemPowerModel:
+    def test_full_pipeline_on_cmp_results(self):
+        from repro.cmp import run_app
+
+        model = SystemPowerModel()
+        mesh = run_app("ba", "mesh", num_nodes=16, cycles=3000)
+        fsoi = run_app("ba", "fsoi", num_nodes=16, cycles=3000)
+        report_mesh = model.report(mesh)
+        report_fsoi = model.report(fsoi)
+        # Paper §7.2: 156 W baseline vs 121 W FSOI; we check the band.
+        assert 120 < report_mesh.average_power < 180
+        assert report_fsoi.average_power < report_mesh.average_power
+        rel = report_fsoi.relative_to(report_mesh)
+        assert rel["total"] < 0.95  # energy savings
+        assert rel["network"] < 0.1  # the ~20x network gap
+        edp_gain = (
+            report_mesh.energy_delay_product() / report_fsoi.energy_delay_product()
+        )
+        assert edp_gain > 1.2
+
+    def test_idealized_networks_get_nominal_energy(self):
+        from repro.cmp import run_app
+
+        model = SystemPowerModel()
+        l0 = run_app("ba", "l0", num_nodes=16, cycles=2000)
+        report = model.report(l0)
+        assert report.network_energy > 0
+        assert report.network_energy < 1e-3  # dynamic bit energy only

@@ -1,0 +1,107 @@
+"""Tests for the §3.3 thermal model of the 3-D FSOI stack."""
+
+import pytest
+
+from repro.power.thermal import (
+    CoolingOption,
+    ThermalReport,
+    ThermalStack,
+)
+
+
+class TestResistances:
+    stack = ThermalStack()
+
+    def test_conduction_resistance_scales_with_thickness(self):
+        thin = self.stack.conduction_resistance(100e-6, 150.0)
+        thick = self.stack.conduction_resistance(400e-6, 150.0)
+        assert thick == pytest.approx(4 * thin)
+
+    def test_microchannel_beats_air(self):
+        assert self.stack.interface_resistance(
+            CoolingOption.MICROCHANNEL
+        ) < self.stack.interface_resistance(CoolingOption.AIR)
+
+    def test_spreading_resistance_positive(self):
+        assert self.stack.lateral_spreading_resistance() > 0
+
+    def test_thicker_spreader_spreads_better(self):
+        thin = ThermalStack(spreader_thickness=200e-6)
+        thick = ThermalStack(spreader_thickness=800e-6)
+        assert (
+            thick.lateral_spreading_resistance()
+            < thin.lateral_spreading_resistance()
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ThermalStack(die_area=0)
+        with pytest.raises(ValueError):
+            ThermalStack(optical_layer_fraction=1.5)
+        with pytest.raises(ValueError):
+            self.stack.conduction_resistance(1e-6, 0)
+
+
+class TestEvaluation:
+    stack = ThermalStack()
+
+    def test_paper_conclusion_air_insufficient(self):
+        # §3.3: "continued scaling ... already making air cooling
+        # increasingly insufficient"; at the measured ~150 W chip power
+        # a displaced air path cannot hold the junctions.
+        assert not self.stack.evaluate(150.0, CoolingOption.AIR).feasible
+
+    def test_paper_conclusion_microchannels_work(self):
+        # §3.3 / refs [33, 34]: microchannel liquid cooling carries the
+        # full FSOI system comfortably.
+        report = self.stack.evaluate(150.0, CoolingOption.MICROCHANNEL)
+        assert report.feasible
+        assert report.vcsel_margin > 10
+
+    def test_spreader_is_marginal(self):
+        # High-conductivity spreaders alone sit near the edge of the
+        # envelope at full chip power — the VCSEL layer's 85 C limit
+        # binds first.
+        report = self.stack.evaluate(150.0, CoolingOption.DIAMOND_SPREADER)
+        assert report.cmos_junction < 120
+        assert not report.vcsel_ok
+
+    def test_temperatures_monotone_in_power(self):
+        low = self.stack.evaluate(50.0, CoolingOption.MICROCHANNEL)
+        high = self.stack.evaluate(150.0, CoolingOption.MICROCHANNEL)
+        assert high.cmos_junction > low.cmos_junction
+        assert high.vcsel_layer > low.vcsel_layer
+
+    def test_vcsel_hotter_than_cmos(self):
+        # The photonics die dissipates through the GaAs substrate on
+        # top of the CMOS layer, so it always runs at least as hot.
+        report = self.stack.evaluate(150.0, CoolingOption.MICROCHANNEL)
+        assert report.vcsel_layer >= report.cmos_junction
+
+    def test_zero_power_is_ambient(self):
+        report = self.stack.evaluate(0.0, CoolingOption.AIR)
+        assert report.cmos_junction == pytest.approx(45.0)
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(ValueError):
+            self.stack.evaluate(-1.0, CoolingOption.AIR)
+
+
+class TestMaxPower:
+    stack = ThermalStack()
+
+    def test_ordering(self):
+        air = self.stack.max_power(CoolingOption.AIR)
+        spreader = self.stack.max_power(CoolingOption.DIAMOND_SPREADER)
+        micro = self.stack.max_power(CoolingOption.MICROCHANNEL)
+        assert micro > spreader > air
+
+    def test_max_power_is_feasible_boundary(self):
+        power = self.stack.max_power(CoolingOption.AIR)
+        assert self.stack.evaluate(power, CoolingOption.AIR).feasible
+        assert not self.stack.evaluate(power + 2, CoolingOption.AIR).feasible
+
+    def test_survey_covers_all_options(self):
+        survey = self.stack.survey(121.0)
+        assert set(survey) == set(CoolingOption)
+        assert all(isinstance(r, ThermalReport) for r in survey.values())

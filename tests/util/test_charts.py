@@ -1,0 +1,72 @@
+"""Tests for the terminal chart helpers."""
+
+import pytest
+
+from repro.util.charts import bar_chart, grouped_bars, heatmap, series
+
+
+class TestBarChart:
+    def test_longest_bar_is_max(self):
+        text = bar_chart({"big": 4.0, "small": 1.0}, width=8)
+        lines = text.splitlines()
+        assert lines[0].count("█") == 8
+        assert lines[1].count("█") == 2
+
+    def test_title(self):
+        assert bar_chart({"a": 1.0}, title="T").splitlines()[0] == "T"
+
+    def test_values_printed(self):
+        assert "4.00" in bar_chart({"a": 4.0})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart({})
+
+    def test_fractional_blocks(self):
+        text = bar_chart({"a": 1.0, "b": 0.9}, width=10)
+        b_line = text.splitlines()[1]
+        assert len(b_line.split()[1]) == 9  # 9 cells for 90%
+
+
+class TestGroupedBars:
+    def test_structure(self):
+        text = grouped_bars(
+            {"oc": {"fsoi": 1.4, "mesh": 1.0}, "mp": {"fsoi": 1.5, "mesh": 1.0}}
+        )
+        assert "oc:" in text and "mp:" in text
+        assert text.count("fsoi") == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            grouped_bars({})
+
+
+class TestSeries:
+    def test_axes_and_legend(self):
+        text = series([0, 1, 2], {"fsoi": [1, 2, 3], "mesh": [3, 2, 1]})
+        assert "o=fsoi" in text and "x=mesh" in text
+        assert "┤" in text
+
+    def test_marks_plotted(self):
+        text = series([0, 1], {"a": [0.0, 1.0]})
+        assert text.count("o") >= 2
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            series([0, 1], {"a": [1.0]})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            series([], {})
+
+
+class TestHeatmap:
+    def test_shading_scales(self):
+        text = heatmap([[0.0, 1.0], [0.5, 0.0]])
+        lines = text.splitlines()
+        assert "█" in lines[0]
+        assert lines[0].startswith("  ")  # zero cell blank
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            heatmap([])

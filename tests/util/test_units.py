@@ -1,0 +1,49 @@
+"""Tests for physical-unit helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.units import (
+    db_to_linear,
+    dbm_to_watts,
+    linear_to_db,
+    watts_to_dbm,
+)
+
+
+class TestDecibels:
+    def test_zero_db_is_unity(self):
+        assert db_to_linear(0.0) == pytest.approx(1.0)
+
+    def test_ten_db_is_ten(self):
+        assert db_to_linear(10.0) == pytest.approx(10.0)
+
+    def test_three_db_is_double(self):
+        assert db_to_linear(3.0103) == pytest.approx(2.0, rel=1e-4)
+
+    def test_linear_to_db_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            linear_to_db(0.0)
+        with pytest.raises(ValueError):
+            linear_to_db(-1.0)
+
+    @given(st.floats(min_value=-60, max_value=60))
+    def test_roundtrip(self, db):
+        assert linear_to_db(db_to_linear(db)) == pytest.approx(db, abs=1e-9)
+
+
+class TestDbm:
+    def test_zero_dbm_is_one_milliwatt(self):
+        assert dbm_to_watts(0.0) == pytest.approx(1e-3)
+
+    def test_thirty_dbm_is_one_watt(self):
+        assert dbm_to_watts(30.0) == pytest.approx(1.0)
+
+    def test_watts_to_dbm_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            watts_to_dbm(0.0)
+
+    @given(st.floats(min_value=-60, max_value=30))
+    def test_roundtrip(self, dbm):
+        assert watts_to_dbm(dbm_to_watts(dbm)) == pytest.approx(dbm, abs=1e-9)
