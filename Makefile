@@ -29,3 +29,4 @@ examples:
 clean:
 	find . -name __pycache__ -type d -exec rm -rf {} +
 	rm -rf .pytest_cache .hypothesis *.egg-info src/*.egg-info
+	rm -rf .repro-sweep-cache benchmarks/.cache

@@ -13,14 +13,27 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent))
 
-from helpers import bench_apps, bench_cycles, print_table, run_cached
+from helpers import bench_apps, bench_cycles, print_table, run_bench_sweep
 
 from repro.core.lanes import LaneConfig
+from repro.sweep import Variant
 from repro.util.stats import geometric_mean
 
 #: FSOI bandwidth steps: (data, meta) VCSELs; relative = (d+m)/9.
 FSOI_STEPS = [(6, 3), (5, 3), (5, 2), (4, 2), (3, 2), (3, 1)]
 MESH_STEPS = [1.0, 0.9, 0.8, 0.7, 0.6, 0.5]
+
+
+def fsoi_variant(step) -> Variant:
+    data, meta = step
+    return Variant.make(
+        f"{data}d{meta}m",
+        fsoi_lanes=LaneConfig(data_vcsels=data, meta_vcsels=meta),
+    )
+
+
+def mesh_variant(scale) -> Variant:
+    return Variant.make(f"x{scale}", mesh_bandwidth_scale=scale)
 
 
 def fsoi_relative_bandwidth(step):
@@ -32,23 +45,28 @@ def test_fig11_bandwidth_sensitivity(benchmark):
     apps = bench_apps(limit=4)
 
     def sweep():
-        fsoi = {}
-        for step in FSOI_STEPS:
-            lanes = LaneConfig(data_vcsels=step[0], meta_vcsels=step[1])
-            fsoi[step] = geometric_mean(
-                run_cached(
-                    app, "fsoi", 16, bench_cycles(), fsoi_lanes=lanes
-                ).ipc
-                for app in apps
+        fsoi_grid = run_bench_sweep(
+            apps, ("fsoi",), 16, bench_cycles(),
+            variants=tuple(fsoi_variant(step) for step in FSOI_STEPS),
+        )
+        mesh_grid = run_bench_sweep(
+            apps, ("mesh",), 16, bench_cycles(),
+            variants=tuple(mesh_variant(scale) for scale in MESH_STEPS),
+        )
+        fsoi = {
+            step: geometric_mean(
+                r.ipc for p, r in fsoi_grid.items()
+                if p.variant == fsoi_variant(step).label
             )
-        mesh = {}
-        for scale in MESH_STEPS:
-            mesh[scale] = geometric_mean(
-                run_cached(
-                    app, "mesh", 16, bench_cycles(), mesh_bandwidth_scale=scale
-                ).ipc
-                for app in apps
+            for step in FSOI_STEPS
+        }
+        mesh = {
+            scale: geometric_mean(
+                r.ipc for p, r in mesh_grid.items()
+                if p.variant == mesh_variant(scale).label
             )
+            for scale in MESH_STEPS
+        }
         return fsoi, mesh
 
     fsoi, mesh = benchmark.pedantic(sweep, rounds=1, iterations=1)

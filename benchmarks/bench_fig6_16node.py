@@ -12,7 +12,7 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent))
 
-from helpers import bench_apps, bench_cycles, print_table, run_cached
+from helpers import bench_apps, bench_cycles, print_table, run_bench_sweep
 
 from repro.util.stats import geometric_mean
 
@@ -21,12 +21,8 @@ PAPER_GMEANS = {"fsoi": 1.36, "l0": 1.43, "lr1": 1.32, "lr2": 1.22}
 
 
 def run_all():
-    apps = bench_apps()
-    return {
-        (app, net): run_cached(app, net, 16, bench_cycles())
-        for app in apps
-        for net in NETWORKS
-    }
+    grid = run_bench_sweep(bench_apps(), NETWORKS, 16, bench_cycles())
+    return {(p.app, p.network): r for p, r in grid.items()}
 
 
 def test_fig6_16node_latency_and_speedup(benchmark):

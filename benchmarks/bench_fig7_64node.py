@@ -11,7 +11,7 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent))
 
-from helpers import bench_apps, bench_cycles, print_table, run_cached
+from helpers import bench_apps, bench_cycles, print_table, run_bench_sweep
 
 from repro.util.stats import geometric_mean
 
@@ -23,11 +23,8 @@ def test_fig7_64node(benchmark):
     networks = ["mesh", "fsoi", "l0", "lr1", "lr2"]
 
     def run_all():
-        return {
-            (app, net): run_cached(app, net, 64, bench_cycles())
-            for app in apps
-            for net in networks
-        }
+        grid = run_bench_sweep(apps, networks, 64, bench_cycles())
+        return {(p.app, p.network): r for p, r in grid.items()}
 
     runs = benchmark.pedantic(run_all, rounds=1, iterations=1)
 
@@ -78,11 +75,8 @@ def test_fig7_corona_comparison(benchmark):
     apps = bench_apps(limit=3)
 
     def run_pair():
-        return {
-            (app, net): run_cached(app, net, 64, bench_cycles())
-            for app in apps
-            for net in ("fsoi", "corona")
-        }
+        grid = run_bench_sweep(apps, ("fsoi", "corona"), 64, bench_cycles())
+        return {(p.app, p.network): r for p, r in grid.items()}
 
     runs = benchmark.pedantic(run_pair, rounds=1, iterations=1)
     ratios = [

@@ -5,32 +5,54 @@ figures: it runs the experiment inside a pytest-benchmark measurement
 and prints the same rows/series the paper reports, side by side with
 the paper's numbers where the paper gives them.
 
+All simulator runs go through the :mod:`repro.sweep` engine's
+content-addressed on-disk cache, keyed on the *full* experiment
+configuration plus a code-version tag — so results are shared across
+processes and across benchmark sessions, and editing any simulator
+source invalidates them automatically.  The per-application sweeps
+(``bench_fig6``/``fig7``/``fig11``) additionally fan their grids out
+over worker processes via :func:`run_bench_sweep`.
+
 Environment knobs (the defaults keep a full ``pytest benchmarks/
---benchmark-only`` run to roughly fifteen minutes):
+--benchmark-only`` run to roughly fifteen minutes cold; cached reruns
+take seconds):
 
 * ``REPRO_BENCH_CYCLES`` — simulated cycles per CMP run (default 6000).
 * ``REPRO_BENCH_APPS`` — ``subset`` (default) or ``all`` 16 paper
   applications for the per-application sweeps.
+* ``REPRO_BENCH_WORKERS`` — worker processes for the sweep-based
+  benches (default: up to 4, capped at the available cores).
+* ``REPRO_BENCH_CACHE`` — cache directory (default
+  ``benchmarks/.cache``); set empty to disable caching.
 """
 
 from __future__ import annotations
 
 import os
-from functools import lru_cache
+from pathlib import Path
 
-from repro.cmp import CmpConfig, CmpSystem
+from repro.cmp import CmpResults
+from repro.sweep import ResultCache, SweepSpec, Variant, make_point, run_sweep
 from repro.workloads import APPLICATIONS
 
 __all__ = [
     "bench_cycles",
     "bench_apps",
+    "bench_workers",
+    "bench_cache",
     "run_cached",
+    "run_bench_sweep",
     "print_table",
     "ALL_APPS",
 ]
 
 ALL_APPS = list(APPLICATIONS)
 _SUBSET = ["ba", "lu", "oc", "ro", "rx", "ws", "em", "mp"]
+
+#: In-process memo on top of the disk cache: repeated ``run_cached``
+#: calls within one benchmark session skip even the JSON reload.
+_MEMO: dict[str, CmpResults] = {}
+_CACHE: ResultCache | None = None
 
 
 def bench_cycles(default: int = 6000) -> int:
@@ -46,17 +68,99 @@ def bench_apps(limit: int | None = None) -> list[str]:
     return apps[:limit] if limit else apps
 
 
-@lru_cache(maxsize=None)
-def run_cached(app: str, network: str, num_nodes: int = 16, cycles: int | None = None,
-               seed: int = 0, **kwargs):
-    """Run one CMP experiment, memoized across a benchmark session.
+def bench_workers() -> int:
+    """Worker-process count for the sweep-based benches."""
+    value = os.environ.get("REPRO_BENCH_WORKERS")
+    if value:
+        return max(1, int(value))
+    try:
+        cores = len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        cores = os.cpu_count() or 1
+    return min(4, cores)
 
-    kwargs must be hashable; use tuples for any sequences.
+
+def bench_cache() -> ResultCache | None:
+    """The shared on-disk result cache (None when disabled)."""
+    global _CACHE
+    if _CACHE is None:
+        root = os.environ.get(
+            "REPRO_BENCH_CACHE", str(Path(__file__).parent / ".cache")
+        )
+        if not root:
+            return None
+        _CACHE = ResultCache(root)
+    return _CACHE
+
+
+def run_cached(app: str, network: str, num_nodes: int = 16,
+               cycles: int | None = None, seed: int = 0, **kwargs) -> CmpResults:
+    """Run one CMP experiment through the sweep cache.
+
+    Keyed on the *full* configuration (every kwarg, the seed, the
+    cycle count and the code version), so results persist across
+    processes and benchmark sessions — unlike the previous
+    ``lru_cache`` memo, which lived and died with one interpreter.
+    ``kwargs`` are extra :class:`repro.cmp.CmpConfig` fields
+    (``optimizations=...``, ``fsoi_lanes=...``, ``memory_gbps=...``).
     """
-    config = CmpConfig(
-        num_nodes=num_nodes, app=app, network=network, seed=seed, **dict(kwargs)
+    from repro.cmp import CmpSystem
+    from repro.sweep.cache import _normalized
+
+    point = make_point(
+        app, network, num_nodes=num_nodes, cycles=cycles or bench_cycles(),
+        seed=seed, **kwargs,
     )
-    return CmpSystem(config).run(cycles or bench_cycles())
+    cache = bench_cache()
+    key = cache.key(point) if cache else repr(point)
+    memoized = _MEMO.get(key)
+    if memoized is not None:
+        return memoized
+    result_dict = cache.get(point) if cache else None
+    if result_dict is None:
+        raw = CmpSystem(point.to_config()).run(point.cycles).to_dict()
+        result_dict = _normalized(raw)
+        if cache:
+            cache.put(point, result_dict)
+    result = CmpResults.from_dict(result_dict)
+    _MEMO[key] = result
+    return result
+
+
+def run_bench_sweep(
+    apps,
+    networks,
+    num_nodes: int = 16,
+    cycles: int | None = None,
+    seeds=(0,),
+    variants: tuple[Variant, ...] | None = None,
+    workers: int | None = None,
+) -> dict:
+    """Run a benchmark grid in parallel; returns ``{point: results}``.
+
+    The dict is keyed by :class:`repro.sweep.SweepPoint`; use
+    ``point.app`` / ``point.network`` / ``point.variant`` to index.
+    Shares the on-disk cache with :func:`run_cached`, so a grid point
+    computed here is a cache hit there (and vice versa).
+    """
+    spec = SweepSpec(
+        apps=tuple(apps),
+        networks=tuple(networks),
+        nodes=(num_nodes,),
+        seeds=tuple(seeds),
+        cycles=cycles or bench_cycles(),
+        variants=variants or (Variant(),),
+    )
+    report = run_sweep(
+        spec, workers=workers or bench_workers(), cache=bench_cache()
+    )
+    failed = [o for o in report.outcomes if not o.ok]
+    if failed:
+        details = "; ".join(
+            f"{o.point.label()}: {o.error}" for o in failed[:3]
+        )
+        raise RuntimeError(f"{len(failed)} sweep point(s) failed: {details}")
+    return dict(report.results())
 
 
 def print_table(title: str, header: list[str], rows: list[list], note: str = "") -> None:

@@ -7,15 +7,33 @@ direct FSOI links stay flat, so the speedup gap widens — and the
 phase-array transmitter keeps the per-node laser count constant where
 dedicated arrays would need N*(N-1)*k VCSELs.
 
+The performance grid (apps x {mesh, fsoi} x {16, 64} nodes) runs
+through :func:`repro.sweep.run_sweep`: points fan out across worker
+processes and land in an on-disk cache, so re-running the study (or
+any benchmark sharing a point) recomputes nothing.
+
 Run:  python examples/scaling_study.py  [app ...]
 """
 
+import os
 import sys
 
-from repro.cmp import run_app
 from repro.core.lanes import LaneConfig
+from repro.sweep import SweepSpec, run_sweep
 
 CYCLES = 8_000
+CACHE_DIR = os.environ.get("REPRO_SWEEP_CACHE", ".repro-sweep-cache")
+
+
+def workers() -> int:
+    override = os.environ.get("REPRO_SWEEP_WORKERS")
+    if override:
+        return max(1, int(override))
+    try:
+        cores = len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        cores = os.cpu_count() or 1
+    return min(4, cores)
 
 
 def hardware_story() -> None:
@@ -30,14 +48,21 @@ def hardware_story() -> None:
 
 
 def performance_story(apps) -> None:
-    print(f"Speedup over the mesh baseline ({CYCLES} cycles/run):")
+    spec = SweepSpec(
+        apps=tuple(apps), networks=("mesh", "fsoi"), nodes=(16, 64),
+        cycles=CYCLES,
+    )
+    report = run_sweep(spec, workers=workers(), cache_dir=CACHE_DIR)
+    print(f"Speedup over the mesh baseline ({CYCLES} cycles/run, "
+          f"{report.workers} workers, {report.executed} computed / "
+          f"{report.from_cache} cached):")
     print(f"  {'app':>5}  {'16 nodes':>9}  {'64 nodes':>9}  {'FSOI lat 16/64':>15}")
     for app in apps:
         row = {}
         latencies = {}
         for nodes in (16, 64):
-            mesh = run_app(app, "mesh", num_nodes=nodes, cycles=CYCLES)
-            fsoi = run_app(app, "fsoi", num_nodes=nodes, cycles=CYCLES)
+            mesh = report.result_for(app=app, network="mesh", num_nodes=nodes)
+            fsoi = report.result_for(app=app, network="fsoi", num_nodes=nodes)
             row[nodes] = fsoi.ipc / mesh.ipc
             latencies[nodes] = (
                 fsoi.latency_breakdown["total"],

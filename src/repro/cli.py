@@ -10,6 +10,9 @@ Commands
     Run one CMP experiment and print its results.
 ``compare --app oc [--nodes N] [--cycles C]``
     Run FSOI and the mesh baseline side by side: speedup + energy.
+``sweep --apps ba,lu --networks fsoi,mesh [--seeds 0,1] [--workers N]``
+    Run a whole experiment grid in parallel with on-disk result
+    caching (see ``repro.sweep`` and docs/sweeps.md).
 ``thermal [--power W]``
     Evaluate the §3.3 cooling options at a given chip power.
 """
@@ -59,6 +62,58 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--nodes", type=int, default=16)
     compare.add_argument("--cycles", type=int, default=10_000)
     compare.add_argument("--seed", type=int, default=0)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="run an experiment grid in parallel with result caching",
+    )
+    sweep.add_argument(
+        "--apps", default="oc",
+        help="comma-separated application labels (e.g. ba,lu,oc,ro)",
+    )
+    sweep.add_argument(
+        "--networks", default="fsoi,mesh",
+        help=f"comma-separated networks from {','.join(NETWORK_KINDS)}",
+    )
+    sweep.add_argument(
+        "--nodes", default="16", help="comma-separated node counts"
+    )
+    sweep.add_argument(
+        "--seeds", default="0", help="comma-separated experiment seeds"
+    )
+    sweep.add_argument("--cycles", type=int, default=8_000)
+    sweep.add_argument(
+        "--optimized", action="store_true",
+        help="also sweep FSOI with all §5 optimizations enabled",
+    )
+    sweep.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes (1 = run inline, no subprocesses)",
+    )
+    sweep.add_argument(
+        "--cache-dir", default=".repro-sweep-cache",
+        help="on-disk result cache directory (default: %(default)s)",
+    )
+    sweep.add_argument(
+        "--no-cache", action="store_true",
+        help="always recompute; do not read or write the cache",
+    )
+    sweep.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-point wall-clock limit in seconds",
+    )
+    sweep.add_argument(
+        "--out", default=None, metavar="RESULTS.JSONL",
+        help="stream per-point results to this JSONL file",
+    )
+    sweep.add_argument(
+        "--spec", default=None, metavar="SPEC.JSON",
+        help="load the grid from a JSON SweepSpec file instead of flags",
+    )
+    sweep.add_argument(
+        "--baseline", default="mesh",
+        help="network to report paired speedups against (default: mesh)",
+    )
 
     thermal = sub.add_parser("thermal", help="§3.3 cooling-option survey")
     thermal.add_argument("--power", type=float, default=121.0)
@@ -140,6 +195,70 @@ def _cmd_compare(args) -> int:
     return 0
 
 
+def _csv(value: str) -> list[str]:
+    return [part for part in value.split(",") if part]
+
+
+def _cmd_sweep(args) -> int:
+    import json
+
+    from repro.sweep import SweepSpec, run_sweep
+
+    if args.spec:
+        with open(args.spec) as handle:
+            spec = SweepSpec.from_dict(json.load(handle))
+    else:
+        optimizations = ("none", "all") if args.optimized else ("none",)
+        spec = SweepSpec(
+            apps=tuple(_csv(args.apps)),
+            networks=tuple(_csv(args.networks)),
+            nodes=tuple(int(n) for n in _csv(args.nodes)),
+            seeds=tuple(int(s) for s in _csv(args.seeds)),
+            cycles=args.cycles,
+            optimizations=optimizations,
+        )
+    points = spec.points()
+    print(f"sweep: {len(points)} points, {args.workers} worker(s), "
+          f"cache {'off' if args.no_cache else args.cache_dir}")
+
+    def progress(done, total, outcome):
+        tag = "cache" if outcome.cached else outcome.status
+        print(f"  [{done:>{len(str(total))}}/{total}] "
+              f"{outcome.point.label():<28} {tag}")
+
+    report = run_sweep(
+        spec,
+        workers=args.workers,
+        cache_dir=None if args.no_cache else args.cache_dir,
+        timeout=args.timeout,
+        jsonl_path=args.out,
+        progress=progress,
+    )
+
+    print(f"done in {report.wall_seconds:.1f}s: {report.executed} executed, "
+          f"{report.from_cache} from cache, {report.failed} failed")
+    if report.ok:
+        header = f"  {'point':<28} {'IPC':>8} {'latency':>8}"
+        print(header)
+        for point, result in report.results():
+            print(f"  {point.label():<28} {result.ipc:>8.3f} "
+                  f"{result.latency_breakdown['total']:>8.2f}")
+    networks = {point.network for point in points}
+    if args.baseline in networks:
+        for network in sorted(networks - {args.baseline}):
+            try:
+                summary = report.paired_speedups(network, args.baseline)
+            except ValueError:
+                continue
+            print(f"  speedup {network} vs {args.baseline}: {summary}")
+    for outcome in report.outcomes:
+        if not outcome.ok:
+            print(f"  FAILED {outcome.point.label()}: {outcome.error}")
+    if report.jsonl_path:
+        print(f"  results: {report.jsonl_path}")
+    return 1 if report.failed else 0
+
+
 def _cmd_thermal(args) -> int:
     stack = ThermalStack()
     print(f"cooling survey at {args.power:.0f} W chip power:")
@@ -164,6 +283,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_run(args)
         if args.command == "compare":
             return _cmd_compare(args)
+        if args.command == "sweep":
+            return _cmd_sweep(args)
         if args.command == "thermal":
             return _cmd_thermal(args)
     except BrokenPipeError:  # pragma: no cover - e.g. `repro link | head`

@@ -1,0 +1,150 @@
+"""Content-addressed on-disk cache of sweep results.
+
+A cached entry is keyed by ``sha256(canonical-JSON(point) + code
+version)``: the *full* experiment configuration — every axis value,
+optimization flag and extra ``CmpConfig`` kwarg — plus a *code-version
+tag* that defaults to a hash of the ``repro`` package sources.  Editing
+any simulator source therefore invalidates every cached result
+automatically, while re-running an identical sweep (or resuming an
+interrupted one) recomputes nothing that already finished.
+
+Entries are one JSON file each, fanned out over 256 subdirectories by
+key prefix, and written atomically (temp file + ``os.replace``) so an
+interrupted sweep never leaves a truncated entry behind.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Optional
+
+from repro.sweep.spec import SweepPoint, canonical_json
+
+__all__ = ["ResultCache", "code_version", "point_key"]
+
+_code_version_cache: dict[str, str] = {}
+
+
+def code_version() -> str:
+    """A 12-hex tag identifying the current ``repro`` source tree.
+
+    SHA-256 over the contents of every ``*.py`` file in the installed
+    ``repro`` package, in sorted path order.  Any source edit changes
+    the tag, invalidating all previously cached results.
+    """
+    import repro
+
+    root = Path(repro.__file__).parent
+    key = str(root)
+    cached = _code_version_cache.get(key)
+    if cached is not None:
+        return cached
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        digest.update(str(path.relative_to(root)).encode("utf-8"))
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    tag = digest.hexdigest()[:12]
+    _code_version_cache[key] = tag
+    return tag
+
+
+def point_key(point: SweepPoint, version: Optional[str] = None) -> str:
+    """The content-addressed cache key of ``point``."""
+    payload = canonical_json(point.to_dict()) + "\0" + (version or code_version())
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:40]
+
+
+class ResultCache:
+    """On-disk result store for sweep points.
+
+    Parameters
+    ----------
+    root:
+        Cache directory (created on first write).
+    version:
+        Code-version tag folded into every key; defaults to
+        :func:`code_version`.  Pass a fixed string to pin a cache
+        across code changes (e.g. for golden-result storage).
+    """
+
+    def __init__(self, root, version: Optional[str] = None):
+        self.root = Path(root)
+        self.version = version or code_version()
+        self.hits = 0
+        self.misses = 0
+
+    def key(self, point: SweepPoint) -> str:
+        return point_key(point, self.version)
+
+    def path_for(self, point: SweepPoint) -> Path:
+        key = self.key(point)
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, point: SweepPoint) -> Optional[dict]:
+        """The cached result dict for ``point``, or None."""
+        path = self.path_for(point)
+        try:
+            with open(path) as handle:
+                entry = json.load(handle)
+        except (FileNotFoundError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry["result"]
+
+    def put(self, point: SweepPoint, result: dict, elapsed: float = 0.0) -> Path:
+        """Store ``result`` (a ``CmpResults.to_dict()``-style dict)."""
+        path = self.path_for(point)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "code_version": self.version,
+            "elapsed_seconds": round(float(elapsed), 6),
+            "point": point.to_dict(),
+            "result": result,
+        }
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        with open(tmp, "w") as handle:
+            handle.write(canonical_json(entry))
+        os.replace(tmp, path)
+        return path
+
+    def __contains__(self, point: SweepPoint) -> bool:
+        return self.path_for(point).exists()
+
+    def entries(self) -> int:
+        """Number of cached results on disk (any code version)."""
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        if not self.root.exists():
+            return removed
+        for path in self.root.glob("*/*.json"):
+            path.unlink()
+            removed += 1
+        return removed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ResultCache(root={str(self.root)!r}, version={self.version!r}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )
+
+
+def _normalized(result: Any) -> dict:
+    """Round-trip a result dict through canonical JSON.
+
+    Guarantees the dict a caller sees is identical whether it was just
+    computed (and may still hold numpy scalars or tuples) or re-loaded
+    from the cache — the basis of the cold-vs-cached determinism
+    guarantee.
+    """
+    return json.loads(canonical_json(result))

@@ -1,0 +1,110 @@
+"""Golden regression snapshots of full CmpSystem runs.
+
+``tests/data/golden_<network>_16.json`` holds the complete
+``CmpResults.to_dict()`` of a 16-node run at a fixed app/seed/cycle
+count.  The tests recompute the run and compare *every* field, so a
+refactor that silently shifts the paper's numbers fails loudly here
+rather than drifting unnoticed through the benchmarks.
+
+After an *intentional* simulator change, regenerate with::
+
+    PYTHONPATH=src python -m pytest tests/cmp/test_golden.py --update-golden
+
+and commit the updated snapshots together with the change that moved
+the numbers.
+"""
+
+import json
+import math
+from pathlib import Path
+
+import pytest
+
+from repro.cmp import CmpConfig, CmpSystem
+from repro.sweep import canonical_json
+
+DATA_DIR = Path(__file__).parents[1] / "data"
+
+#: Fixed experiment: small enough to recompute in a test, big enough
+#: that every subsystem (coherence, sync, memory, collisions) has fired.
+APP = "oc"
+NUM_NODES = 16
+CYCLES = 2500
+SEED = 0
+NETWORKS = ("fsoi", "mesh")
+
+
+def golden_path(network: str) -> Path:
+    return DATA_DIR / f"golden_{network}_{NUM_NODES}.json"
+
+
+def compute(network: str) -> dict:
+    config = CmpConfig(
+        num_nodes=NUM_NODES, app=APP, network=network, seed=SEED
+    )
+    result = CmpSystem(config).run(CYCLES).to_dict()
+    return json.loads(canonical_json(result))
+
+
+def _diff(expected, actual, path=""):
+    """Recursive field-by-field comparison; returns difference strings."""
+    if isinstance(expected, dict) and isinstance(actual, dict):
+        out = []
+        for key in sorted(set(expected) | set(actual)):
+            where = f"{path}.{key}" if path else key
+            if key not in expected:
+                out.append(f"{where}: unexpected new field")
+            elif key not in actual:
+                out.append(f"{where}: field disappeared")
+            else:
+                out.extend(_diff(expected[key], actual[key], where))
+        return out
+    if isinstance(expected, list) and isinstance(actual, list):
+        if len(expected) != len(actual):
+            return [f"{path}: length {len(expected)} -> {len(actual)}"]
+        out = []
+        for index, (e, a) in enumerate(zip(expected, actual)):
+            out.extend(_diff(e, a, f"{path}[{index}]"))
+        return out
+    if isinstance(expected, float) or isinstance(actual, float):
+        if not math.isclose(expected, actual, rel_tol=1e-9, abs_tol=1e-12):
+            return [f"{path}: {expected!r} -> {actual!r}"]
+        return []
+    if expected != actual:
+        return [f"{path}: {expected!r} -> {actual!r}"]
+    return []
+
+
+@pytest.mark.parametrize("network", NETWORKS)
+def test_golden_snapshot(network, request):
+    actual = compute(network)
+    path = golden_path(network)
+    if request.config.getoption("--update-golden"):
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(actual, indent=1, sort_keys=True) + "\n")
+        return
+    assert path.exists(), (
+        f"missing golden snapshot {path}; generate it with "
+        "`pytest tests/cmp/test_golden.py --update-golden`"
+    )
+    expected = json.loads(path.read_text())
+    differences = _diff(expected, actual)
+    assert not differences, (
+        f"{network} run diverged from {path.name} in "
+        f"{len(differences)} field(s):\n  "
+        + "\n  ".join(differences[:20])
+        + "\nIf the change is intentional, regenerate with "
+        "`pytest tests/cmp/test_golden.py --update-golden` and commit."
+    )
+
+
+def test_golden_snapshots_are_meaningful():
+    """The snapshots must exercise the interesting machinery."""
+    for network in NETWORKS:
+        data = json.loads(golden_path(network).read_text())
+        assert data["instructions"] > 0
+        assert data["packets_delivered"] > 100
+        assert data["sync"]["barriers_completed"] >= 0
+        assert data["cycles"] == CYCLES
+    fsoi = json.loads(golden_path("fsoi").read_text())
+    assert fsoi["fsoi"]["meta_transmissions"] > 0  # collisions machinery ran

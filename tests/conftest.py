@@ -1,0 +1,11 @@
+"""Shared pytest configuration for the test tree."""
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="regenerate the golden result snapshots under tests/data/ "
+        "instead of comparing against them (commit the diff afterwards)",
+    )

@@ -1,0 +1,67 @@
+"""Property-based invariants of the §4.3.2 back-off policy.
+
+The paper's schedule: retry ``r`` draws from a window of
+``W * B^(r-1)`` slots (clamped at ``max_window``).  Whatever W/B/r a
+caller picks, the window must follow that law, never shrink below one
+slot, and every drawn delay must land inside it.
+"""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.backoff import BackoffPolicy
+
+windows = st.floats(min_value=1.0, max_value=64.0, allow_nan=False,
+                    allow_infinity=False)
+bases = st.floats(min_value=1.0, max_value=3.0, allow_nan=False,
+                  allow_infinity=False)
+retries = st.integers(min_value=1, max_value=40)
+
+
+@given(start=windows, base=bases, retry=retries)
+@settings(max_examples=100, deadline=None)
+def test_window_follows_exponential_law(start, base, retry):
+    policy = BackoffPolicy(start_window=start, base=base)
+    expected = min(start * base ** (retry - 1), policy.max_window)
+    assert math.isclose(policy.window(retry), expected, rel_tol=1e-12)
+
+
+@given(start=windows, base=bases, retry=retries)
+@settings(max_examples=100, deadline=None)
+def test_window_never_below_one_slot(start, base, retry):
+    assert BackoffPolicy(start_window=start, base=base).window(retry) >= 1.0
+
+
+@given(start=windows, base=bases, retry=st.integers(min_value=1, max_value=39))
+@settings(max_examples=100, deadline=None)
+def test_windows_never_shrink_with_retry_count(start, base, retry):
+    policy = BackoffPolicy(start_window=start, base=base)
+    assert policy.window(retry + 1) >= policy.window(retry)
+
+
+@given(start=windows, base=bases, retry=retries,
+       seed=st.integers(min_value=0, max_value=2**32 - 1))
+@settings(max_examples=100, deadline=None)
+def test_drawn_delay_lands_inside_the_window(start, base, retry, seed):
+    policy = BackoffPolicy(start_window=start, base=base)
+    delay = policy.draw_delay_slots(np.random.default_rng(seed), retry)
+    assert isinstance(delay, int)
+    assert 1 <= delay <= math.ceil(policy.window(retry))
+
+
+@given(start=windows, base=bases, retry=retries)
+@settings(max_examples=50, deadline=None)
+def test_expected_delay_is_mean_of_uniform_draw(start, base, retry):
+    policy = BackoffPolicy(start_window=start, base=base)
+    span = max(1, math.ceil(policy.window(retry)))
+    assert policy.expected_delay_slots(retry) == (1 + span) / 2.0
+
+
+@given(start=windows, retry=retries)
+@settings(max_examples=50, deadline=None)
+def test_degenerate_base_gives_fixed_window(start, retry):
+    policy = BackoffPolicy(start_window=start, base=1.0)
+    assert policy.window(retry) == policy.window(1)

@@ -1,0 +1,85 @@
+"""Property-based invariants of the PID/~PID collision code (§4.3.2).
+
+The receiver sees the OR of simultaneous optical headers.  The code's
+safety property: the merged header of *any* set of two or more
+distinct senders is always flagged corrupt (some bit set in both PID
+and ~PID), while a single sender's header never is — no false
+negatives, no false alarms.  The hint decode must always include every
+true participant.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.packet import (
+    candidate_senders,
+    collision_detected,
+    merged_header,
+    merged_one_hot,
+    one_hot_senders,
+)
+
+id_bits = st.integers(min_value=2, max_value=10)
+
+
+@st.composite
+def distinct_senders(draw, min_size=2):
+    bits = draw(id_bits)
+    senders = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=(1 << bits) - 1),
+            min_size=min_size, max_size=6, unique=True,
+        )
+    )
+    return bits, senders
+
+
+@given(data=distinct_senders(min_size=2))
+@settings(max_examples=200, deadline=None)
+def test_merged_headers_from_distinct_senders_always_flag_corrupt(data):
+    bits, senders = data
+    pid, pidc = merged_header(senders, id_bits=bits)
+    assert collision_detected(pid, pidc)
+
+
+@given(bits=id_bits, data=st.data())
+@settings(max_examples=200, deadline=None)
+def test_single_sender_never_flags_corrupt(bits, data):
+    sender = data.draw(st.integers(min_value=0, max_value=(1 << bits) - 1))
+    pid, pidc = merged_header([sender], id_bits=bits)
+    assert not collision_detected(pid, pidc)
+    # The lone sender decodes back out of its own header.
+    assert candidate_senders(pid, pidc, [sender], id_bits=bits) == [sender]
+
+
+@given(data=distinct_senders(min_size=1))
+@settings(max_examples=200, deadline=None)
+def test_candidates_always_include_every_true_participant(data):
+    bits, senders = data
+    pid, pidc = merged_header(senders, id_bits=bits)
+    candidates = candidate_senders(
+        pid, pidc, range(1 << bits), id_bits=bits
+    )
+    assert set(senders) <= set(candidates)
+
+
+@given(data=distinct_senders(min_size=2))
+@settings(max_examples=200, deadline=None)
+def test_duplicate_transmissions_do_not_unflag_a_collision(data):
+    """OR-ing a sender's header twice changes nothing (light is light)."""
+    bits, senders = data
+    once = merged_header(senders, id_bits=bits)
+    twice = merged_header(senders + senders, id_bits=bits)
+    assert once == twice
+    assert collision_detected(*twice)
+
+
+@given(nodes=st.integers(min_value=2, max_value=64), data=st.data())
+@settings(max_examples=200, deadline=None)
+def test_one_hot_merge_decodes_exact_participant_set(nodes, data):
+    senders = data.draw(
+        st.lists(st.integers(min_value=0, max_value=nodes - 1),
+                 min_size=1, max_size=8, unique=True)
+    )
+    merged = merged_one_hot(senders, nodes)
+    assert one_hot_senders(merged, nodes) == sorted(senders)

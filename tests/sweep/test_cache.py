@@ -1,0 +1,71 @@
+"""The content-addressed on-disk result cache."""
+
+from repro.sweep import ResultCache, code_version, make_point, point_key
+
+
+def _point(**overrides):
+    base = dict(app="ba", network="fsoi", cycles=1000, seed=0)
+    base.update(overrides)
+    return make_point(**base)
+
+
+class TestKeying:
+    def test_key_is_stable(self):
+        assert point_key(_point()) == point_key(_point())
+
+    def test_key_covers_every_config_axis(self):
+        base = _point()
+        distinct = {
+            point_key(base),
+            point_key(_point(app="lu")),
+            point_key(_point(network="mesh")),
+            point_key(_point(num_nodes=64)),
+            point_key(_point(cycles=2000)),
+            point_key(_point(seed=1)),
+            point_key(_point(optimizations="all")),
+            point_key(_point(memory_gbps=4.4)),
+        }
+        assert len(distinct) == 8
+
+    def test_key_depends_on_code_version(self):
+        point = _point()
+        assert point_key(point, "aaaa") != point_key(point, "bbbb")
+
+    def test_code_version_is_stable_and_short(self):
+        tag = code_version()
+        assert tag == code_version()
+        assert len(tag) == 12
+        assert all(c in "0123456789abcdef" for c in tag)
+
+
+class TestStore:
+    def test_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        point = _point()
+        assert cache.get(point) is None
+        cache.put(point, {"ipc": 1.5, "cycles": 1000})
+        assert cache.get(point) == {"ipc": 1.5, "cycles": 1000}
+        assert point in cache
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_different_code_version_misses(self, tmp_path):
+        point = _point()
+        ResultCache(tmp_path, version="v1").put(point, {"ipc": 1.0})
+        assert ResultCache(tmp_path, version="v2").get(point) is None
+        assert ResultCache(tmp_path, version="v1").get(point) == {"ipc": 1.0}
+
+    def test_corrupt_entry_treated_as_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        point = _point()
+        path = cache.put(point, {"ipc": 1.0})
+        path.write_text("{ truncated")
+        assert cache.get(point) is None
+
+    def test_entries_and_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(_point(), {"ipc": 1.0})
+        cache.put(_point(seed=1), {"ipc": 2.0})
+        assert cache.entries() == 2
+        assert cache.clear() == 2
+        assert cache.entries() == 0
+        assert cache.get(_point()) is None

@@ -1,0 +1,59 @@
+"""Determinism guarantees of the sweep engine.
+
+The same :class:`SweepSpec` must produce *byte-identical* JSONL output
+
+* with 1 worker and with N workers (results are streamed in point
+  order through a reorder buffer, and every simulation is fully
+  determined by its config seed), and
+* whether points are computed cold or served from the on-disk cache
+  (results are canonical-JSON-normalized before anything sees them).
+"""
+
+import pytest
+
+from repro.sweep import SweepSpec, run_sweep
+
+SPEC = SweepSpec(apps=("ba", "mp"), networks=("fsoi", "mesh"), cycles=400)
+
+
+@pytest.fixture(scope="module")
+def cold_serial(tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("serial")
+    path = tmp / "results.jsonl"
+    report = run_sweep(SPEC, workers=1, cache_dir=tmp / "cache",
+                       jsonl_path=path)
+    assert report.ok == 4
+    return tmp, path.read_bytes()
+
+
+def test_worker_count_does_not_change_results(cold_serial, tmp_path):
+    _, serial_bytes = cold_serial
+    path = tmp_path / "results.jsonl"
+    report = run_sweep(SPEC, workers=3, cache_dir=tmp_path / "cache",
+                       jsonl_path=path)
+    assert report.ok == 4 and report.from_cache == 0
+    assert path.read_bytes() == serial_bytes
+
+
+def test_cache_does_not_change_results(cold_serial):
+    tmp, serial_bytes = cold_serial
+    path = tmp / "rerun.jsonl"
+    report = run_sweep(SPEC, workers=2, cache_dir=tmp / "cache",
+                       jsonl_path=path)
+    assert report.from_cache == 4 and report.executed == 0
+    assert path.read_bytes() == serial_bytes
+
+
+def test_same_seed_same_results_across_reruns(tmp_path):
+    spec = SweepSpec(apps=("ba",), networks=("fsoi",), cycles=400, seeds=(7,))
+    first = run_sweep(spec, workers=1)
+    second = run_sweep(spec, workers=1)
+    assert first.outcomes[0].result == second.outcomes[0].result
+
+
+def test_different_seeds_differ(tmp_path):
+    spec = SweepSpec(apps=("ba",), networks=("fsoi",), cycles=400,
+                     seeds=(0, 1))
+    report = run_sweep(spec, workers=1)
+    a, b = (o.result for o in report.outcomes)
+    assert a != b  # the seed axis genuinely reaches the simulator

@@ -1,0 +1,69 @@
+"""The headline acceptance sweep: 16 points, 4 apps x 2 networks x 2 seeds.
+
+Two guarantees:
+
+* with >= 4 cores, 4 workers beat 1 worker by >= 2x wall-clock on the
+  16-point grid (skipped on smaller machines — a CPU-bound sweep
+  cannot parallelize past the core count; ``test_runner.py`` covers
+  pool concurrency on any machine via sleeping points);
+* a second identical invocation is served entirely from the cache,
+  with zero simulator executions.
+"""
+
+import os
+
+import pytest
+
+from repro.sweep import SweepSpec, run_sweep
+
+
+def _available_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+SPEC = SweepSpec(
+    apps=("ba", "lu", "oc", "ro"),
+    networks=("fsoi", "mesh"),
+    seeds=(0, 1),
+    cycles=1000,
+)
+
+
+def _never_called(point_dict):
+    raise AssertionError("simulator executed despite warm cache")
+
+
+@pytest.mark.skipif(
+    _available_cpus() < 4,
+    reason=f"needs >= 4 cores for a 2x parallel speedup "
+           f"(have {_available_cpus()})",
+)
+def test_sixteen_point_sweep_parallel_speedup(tmp_path):
+    assert len(SPEC.points()) == 16
+    serial = run_sweep(SPEC, workers=1)
+    parallel = run_sweep(SPEC, workers=4)
+    assert serial.ok == parallel.ok == 16
+    speedup = serial.wall_seconds / parallel.wall_seconds
+    assert speedup >= 2.0, (
+        f"4 workers only {speedup:.2f}x faster than 1 "
+        f"({serial.wall_seconds:.2f}s -> {parallel.wall_seconds:.2f}s)"
+    )
+
+
+def test_sixteen_point_sweep_second_invocation_all_cached(tmp_path):
+    assert len(SPEC.points()) == 16
+    workers = min(4, _available_cpus())
+    cold = run_sweep(SPEC, workers=workers, cache_dir=tmp_path)
+    assert cold.ok == 16 and cold.executed == 16
+
+    warm = run_sweep(SPEC, workers=workers, cache_dir=tmp_path,
+                     execute=_never_called)
+    assert warm.ok == 16
+    assert warm.from_cache == 16
+    assert warm.executed == 0
+    assert [r.to_dict() for _, r in warm.results()] == [
+        r.to_dict() for _, r in cold.results()
+    ]

@@ -1,0 +1,122 @@
+"""SweepSpec/SweepPoint expansion, serialization and config rebuild."""
+
+import json
+
+import pytest
+
+from repro.cmp import CmpConfig
+from repro.core.lanes import LaneConfig
+from repro.core.optimizations import OptimizationConfig
+from repro.sweep import SweepPoint, SweepSpec, Variant, make_point
+from repro.sweep.spec import OPTIMIZATION_FLAGS, canonical_json
+
+
+class TestSweepPoint:
+    def test_round_trips_through_dict(self):
+        point = make_point(
+            "oc", "fsoi", num_nodes=64, cycles=5000, seed=3,
+            optimizations="all", variant="narrow",
+            fsoi_lanes=LaneConfig(data_vcsels=3, meta_vcsels=2),
+        )
+        again = SweepPoint.from_dict(point.to_dict())
+        assert again == point
+        assert canonical_json(again.to_dict()) == canonical_json(point.to_dict())
+
+    def test_to_config_rebuilds_exact_config(self):
+        lanes = LaneConfig(data_vcsels=4, meta_vcsels=2)
+        point = make_point(
+            "ba", "fsoi", cycles=2000, seed=7,
+            optimizations=OptimizationConfig.all(), fsoi_lanes=lanes,
+        )
+        config = point.to_config()
+        assert config == CmpConfig(
+            num_nodes=16, app="ba", network="fsoi", seed=7,
+            optimizations=OptimizationConfig.all(), fsoi_lanes=lanes,
+        )
+
+    def test_scalar_extras_pass_through(self):
+        point = make_point("ba", "mesh", memory_gbps=4.4,
+                           mesh_bandwidth_scale=0.5)
+        config = point.to_config()
+        assert config.memory_gbps == 4.4
+        assert config.mesh_bandwidth_scale == 0.5
+
+    def test_optimization_names_normalize(self):
+        by_name = make_point("ba", "fsoi", optimizations="confirmation_ack")
+        by_config = make_point(
+            "ba", "fsoi",
+            optimizations=OptimizationConfig(confirmation_ack=True),
+        )
+        assert by_name == by_config
+        assert by_name.optimization_config().confirmation_ack
+
+    def test_rejects_unknown_app_network_and_flags(self):
+        with pytest.raises(ValueError):
+            make_point("doom", "fsoi")
+        with pytest.raises(ValueError):
+            make_point("ba", "carrier-pigeon")
+        with pytest.raises(ValueError):
+            make_point("ba", "fsoi", optimizations="warp_drive")
+
+    def test_unsupported_dataclass_kwarg_rejected(self):
+        from repro.cpu.core import CoreConfig
+
+        with pytest.raises(ValueError, match="dataclass"):
+            make_point("ba", "fsoi", core=CoreConfig())
+
+
+class TestSweepSpec:
+    def test_cartesian_expansion_order_is_deterministic(self):
+        spec = SweepSpec(
+            apps=("ba", "lu"), networks=("fsoi", "mesh"),
+            nodes=(16,), seeds=(0, 1), cycles=1000,
+        )
+        labels = [p.label() for p in spec.points()]
+        assert labels == [
+            "ba/fsoi/n16/s0", "ba/fsoi/n16/s1",
+            "ba/mesh/n16/s0", "ba/mesh/n16/s1",
+            "lu/fsoi/n16/s0", "lu/fsoi/n16/s1",
+            "lu/mesh/n16/s0", "lu/mesh/n16/s1",
+        ]
+
+    def test_optimizations_apply_to_fsoi_only(self):
+        spec = SweepSpec(
+            apps=("ba",), networks=("fsoi", "mesh"), cycles=1000,
+            optimizations=("none", "all"),
+        )
+        points = spec.points()
+        fsoi = [p for p in points if p.network == "fsoi"]
+        mesh = [p for p in points if p.network == "mesh"]
+        assert len(fsoi) == 2  # baseline + optimized
+        assert len(mesh) == 1  # a single baseline point, no duplicates
+        assert sorted(fsoi[1].optimizations) == sorted(OPTIMIZATION_FLAGS)
+        assert mesh[0].optimizations == ()
+
+    def test_variants_expand_with_their_kwargs(self):
+        spec = SweepSpec(
+            apps=("ba",), networks=("fsoi",), cycles=1000,
+            variants=(
+                Variant.make("wide"),
+                Variant.make("narrow",
+                             fsoi_lanes=LaneConfig(data_vcsels=3,
+                                                   meta_vcsels=2)),
+            ),
+        )
+        points = spec.points()
+        assert [p.variant for p in points] == ["wide", "narrow"]
+        assert points[1].to_config().fsoi_lanes.data_vcsels == 3
+
+    def test_spec_round_trips_through_json(self):
+        spec = SweepSpec(
+            apps=("ba", "oc"), networks=("fsoi", "mesh"), nodes=(16, 64),
+            seeds=(0, 1, 2), cycles=4000, optimizations=("none", "all"),
+            variants=(Variant.make("half", mesh_bandwidth_scale=0.5),),
+        )
+        again = SweepSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert again.points() == spec.points()
+
+    def test_empty_axes_rejected(self):
+        with pytest.raises(ValueError):
+            SweepSpec(apps=(), networks=("fsoi",))
+        with pytest.raises(ValueError):
+            SweepSpec(apps=("ba",), networks=("fsoi",), seeds=())
