@@ -13,6 +13,12 @@ Commands
 ``sweep --apps ba,lu --networks fsoi,mesh [--seeds 0,1] [--workers N]``
     Run a whole experiment grid in parallel with on-disk result
     caching (see ``repro.sweep`` and docs/sweeps.md).
+``trace --app oc --network fsoi --out trace.jsonl``
+    Run one experiment with event tracing on and export the trace as
+    chrome://tracing-compatible JSONL (see docs/observability.md).
+``profile --app oc --network fsoi``
+    Run one experiment with per-phase wall-time profiling and print
+    the cycle-loop attribution table.
 ``thermal [--power W]``
     Evaluate the §3.3 cooling options at a given chip power.
 """
@@ -107,6 +113,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="stream per-point results to this JSONL file",
     )
     sweep.add_argument(
+        "--metrics-dir", default=None, metavar="DIR",
+        help="archive each executed point's metrics-registry snapshot "
+        "as one JSON file in this directory",
+    )
+    sweep.add_argument(
         "--spec", default=None, metavar="SPEC.JSON",
         help="load the grid from a JSON SweepSpec file instead of flags",
     )
@@ -114,6 +125,57 @@ def build_parser() -> argparse.ArgumentParser:
         "--baseline", default="mesh",
         help="network to report paired speedups against (default: mesh)",
     )
+
+    def add_run_args(parser_) -> None:
+        parser_.add_argument("--app", default="oc", choices=sorted(APPLICATIONS))
+        parser_.add_argument("--network", default="fsoi", choices=NETWORK_KINDS)
+        parser_.add_argument("--nodes", type=int, default=16)
+        parser_.add_argument("--cycles", type=int, default=10_000)
+        parser_.add_argument("--seed", type=int, default=0)
+        parser_.add_argument(
+            "--optimized", action="store_true",
+            help="enable all §5 optimizations (FSOI only)",
+        )
+
+    trace = sub.add_parser(
+        "trace", help="run one experiment with event tracing"
+    )
+    add_run_args(trace)
+    trace.add_argument(
+        "--out", default="trace.jsonl", metavar="TRACE.JSONL",
+        help="trace-event JSONL output path (default: %(default)s)",
+    )
+    trace.add_argument(
+        "--chrome", default=None, metavar="TRACE.JSON",
+        help="also write a {'traceEvents': [...]} file for direct "
+        "loading in chrome://tracing / Perfetto",
+    )
+    trace.add_argument(
+        "--buffer", type=int, default=1 << 20,
+        help="trace ring-buffer capacity in events (default: %(default)s)",
+    )
+    trace.add_argument(
+        "--categories", default=None,
+        help="comma-separated category allow-list "
+        "(fsoi,mesh,coherence,confirmation,backoff; default: all)",
+    )
+    trace.add_argument(
+        "--node", type=int, default=None,
+        help="export only events of this node",
+    )
+    trace.add_argument(
+        "--lane", default=None, choices=("meta", "data"),
+        help="export only events of this lane",
+    )
+    trace.add_argument(
+        "--metrics", default=None, metavar="METRICS.{JSON,CSV}",
+        help="also export the run's metrics-registry snapshot",
+    )
+
+    profile = sub.add_parser(
+        "profile", help="run one experiment with cycle-loop profiling"
+    )
+    add_run_args(profile)
 
     thermal = sub.add_parser("thermal", help="§3.3 cooling-option survey")
     thermal.add_argument("--power", type=float, default=121.0)
@@ -232,6 +294,7 @@ def _cmd_sweep(args) -> int:
         cache_dir=None if args.no_cache else args.cache_dir,
         timeout=args.timeout,
         jsonl_path=args.out,
+        metrics_path=args.metrics_dir,
         progress=progress,
     )
 
@@ -257,6 +320,59 @@ def _cmd_sweep(args) -> int:
     if report.jsonl_path:
         print(f"  results: {report.jsonl_path}")
     return 1 if report.failed else 0
+
+
+def _traced_config(args) -> "CmpConfig":
+    optimizations = (
+        OptimizationConfig.all() if args.optimized else OptimizationConfig.none()
+    )
+    return CmpConfig(
+        num_nodes=args.nodes,
+        app=args.app,
+        network=args.network,
+        optimizations=optimizations,
+        seed=args.seed,
+    )
+
+
+def _cmd_trace(args) -> int:
+    from repro.obs import tracing
+
+    categories = _csv(args.categories) if args.categories else None
+    with tracing(capacity=args.buffer, categories=categories) as tracer:
+        system = CmpSystem(_traced_config(args))
+        result = system.run(args.cycles)
+    filters = {}
+    if args.node is not None:
+        filters["node"] = args.node
+    if args.lane is not None:
+        filters["lane"] = args.lane
+    written = tracer.write_jsonl(args.out, **filters)
+    print(f"{args.app} on {args.network}, {args.nodes} nodes, "
+          f"{args.cycles} cycles: {result.packets_delivered:,} packets")
+    print(f"  trace         {written:,} events -> {args.out} "
+          f"({tracer.emitted:,} emitted, {tracer.dropped:,} dropped)")
+    for cat, count in tracer.category_counts().items():
+        print(f"    {cat:<12} {count:,}")
+    if args.chrome:
+        tracer.write_chrome_json(args.chrome, **filters)
+        print(f"  chrome trace  {args.chrome} (load in chrome://tracing)")
+    if args.metrics:
+        system.metrics_registry().write(args.metrics)
+        print(f"  metrics       {args.metrics}")
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    from repro.obs import profiling
+
+    with profiling() as profiler:
+        result = CmpSystem(_traced_config(args)).run(args.cycles)
+    print(f"{args.app} on {args.network}, {args.nodes} nodes, "
+          f"{args.cycles} cycles: IPC {result.ipc:.3f}, "
+          f"{result.packets_delivered:,} packets")
+    print(profiler.render())
+    return 0
 
 
 def _cmd_thermal(args) -> int:
@@ -285,6 +401,10 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_compare(args)
         if args.command == "sweep":
             return _cmd_sweep(args)
+        if args.command == "trace":
+            return _cmd_trace(args)
+        if args.command == "profile":
+            return _cmd_profile(args)
         if args.command == "thermal":
             return _cmd_thermal(args)
     except BrokenPipeError:  # pragma: no cover - e.g. `repro link | head`

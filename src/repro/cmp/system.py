@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field, replace
+from time import perf_counter
 from typing import Optional, Union
 
 from repro.coherence.directory import DirectoryConfig, DirectoryController
@@ -40,6 +41,9 @@ from repro.cmp.results import CmpResults
 from repro.mesh.ideal import IdealConfig, IdealNetwork
 from repro.mesh.network import MeshConfig, MeshNetwork
 from repro.net.packet import Packet
+from repro.obs.profile import PROFILER
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import TRACE
 from repro.util.rng import RngHub
 from repro.util.stats import Histogram
 from repro.workloads.splash2 import AppSignature, AppWorkload, signature
@@ -438,7 +442,12 @@ class CmpSystem:
     # ------------------------------------------------------------------
 
     def tick(self) -> None:
+        if PROFILER.enabled:
+            self._tick_profiled()
+            return
         cycle = self.cycle
+        if TRACE.enabled:
+            TRACE.cycle = cycle
         for action in self._calendar.pop(cycle, ()):  # due events
             action()
         for node, queue in enumerate(self._overflow):
@@ -449,6 +458,38 @@ class CmpSystem:
         self.network.tick(cycle)
         for core in self.cores:
             core.tick(cycle)
+        self.cycle = cycle + 1
+
+    def _tick_profiled(self) -> None:
+        """The :meth:`tick` body with per-subsystem wall-time attribution.
+
+        Kept as a separate method so the common (profiling-off) path
+        pays nothing; the subsystem order must mirror :meth:`tick`.
+        """
+        cycle = self.cycle
+        if TRACE.enabled:
+            TRACE.cycle = cycle
+        t0 = perf_counter()
+        for action in self._calendar.pop(cycle, ()):  # due events
+            action()
+        t1 = perf_counter()
+        PROFILER.add("calendar", t1 - t0)
+        for node, queue in enumerate(self._overflow):
+            while queue and self.network.try_send(queue[0], cycle):
+                queue.popleft()
+        t2 = perf_counter()
+        PROFILER.add("overflow", t2 - t1)
+        for controller in self.memory.values():
+            controller.tick(cycle)
+        t3 = perf_counter()
+        PROFILER.add("memory", t3 - t2)
+        self.network.tick(cycle)
+        t4 = perf_counter()
+        PROFILER.add("network", t4 - t3)
+        for core in self.cores:
+            core.tick(cycle)
+        PROFILER.add("cores", perf_counter() - t4)
+        PROFILER.cycle_done()
         self.cycle = cycle + 1
 
     def run(self, cycles: int) -> CmpResults:
@@ -478,6 +519,59 @@ class CmpSystem:
         raise RuntimeError(
             f"work target {instructions} not reached within {max_cycles} cycles"
         )
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+
+    def metrics_registry(self) -> MetricsRegistry:
+        """One registry over every subsystem's live stats.
+
+        Mounts the interconnect's stat tree plus the per-node L1,
+        directory, core and memory-controller groups, and gauges for
+        run progress, sync totals and the confirmation channel.  The
+        registry reads live objects, so build it once and snapshot
+        whenever needed (``repro trace --metrics``, the sweep metric
+        archive, the golden metrics tests).
+        """
+        reg = MetricsRegistry(f"{self.app_label}.{self.config.network}")
+        reg.mount("network", self.network.stats.group)
+        for node, l1 in enumerate(self.l1s):
+            reg.mount(f"l1.n{node:02d}", l1.stats)
+        for node, directory in enumerate(self.directories):
+            reg.mount(f"directory.n{node:02d}", directory.stats)
+        for node, core in enumerate(self.cores):
+            reg.mount(f"core.n{node:02d}", core.stats)
+        for node in sorted(self.memory):
+            reg.mount(f"memory.n{node:02d}", self.memory[node].stats)
+        reg.gauge("run.app", self.app_label)
+        reg.gauge("run.network", self.config.network)
+        reg.gauge("run.num_nodes", self.config.num_nodes)
+        reg.gauge("run.cycles", lambda: self.cycle)
+        reg.gauge(
+            "run.instructions",
+            lambda: sum(core.instructions for core in self.cores),
+        )
+        reg.gauge("sync.barriers_completed", lambda: self.sync.barriers_completed)
+        reg.gauge("sync.lock_acquisitions", lambda: self.sync.lock_acquisitions)
+        reg.gauge("sync.lock_retries", lambda: self.sync.lock_retries)
+        reg.gauge(
+            "reply_latency",
+            lambda: {
+                "count": self.reply_latency.count,
+                "fractions": self.reply_latency.fractions(),
+            },
+        )
+        if self._is_fsoi:
+            reg.gauge(
+                "confirmation.confirmations_sent",
+                lambda: self.network.confirmations.confirmations_sent,
+            )
+            reg.gauge(
+                "confirmation.signals_sent",
+                lambda: self.network.confirmations.signals_sent,
+            )
+        return reg
 
     # ------------------------------------------------------------------
     # results

@@ -29,6 +29,7 @@ from enum import Enum, auto
 from typing import Callable, Optional
 
 from repro.coherence.messages import CoherenceMessage, MsgType
+from repro.obs.trace import TRACE
 from repro.util.stats import StatGroup
 
 __all__ = ["DirState", "DirectoryController", "DirectoryConfig"]
@@ -143,6 +144,12 @@ class DirectoryController:
         entry = self.entry(msg.line)
         self._lru_clock += 1
         entry.last_use = self._lru_clock
+        if TRACE.enabled:
+            TRACE.emit(
+                "dir_event", cat="coherence", node=self.node,
+                line=msg.line, mtype=msg.mtype.name,
+                state=entry.state.name, sender=msg.sender,
+            )
         if msg.mtype is MsgType.WB_ANNOUNCE:
             return  # §5.2: informational; the network layer uses it
         if msg.mtype.is_request:

@@ -28,6 +28,7 @@ from enum import Enum, auto
 from typing import Callable, Optional
 
 from repro.coherence.messages import CoherenceMessage, MsgType
+from repro.obs.trace import TRACE
 from repro.util.cache import CacheArray
 from repro.util.stats import StatGroup
 
@@ -160,6 +161,11 @@ class L1Controller:
         return AccessResult.HIT
 
     def _request(self, line: int, mtype: MsgType) -> None:
+        if TRACE.enabled:
+            TRACE.emit(
+                "l1_request", cat="coherence", node=self.node,
+                line=line, mtype=mtype.name,
+            )
         self.send(
             CoherenceMessage(
                 mtype=mtype,
@@ -207,6 +213,12 @@ class L1Controller:
 
     def handle(self, msg: CoherenceMessage) -> None:
         mtype = msg.mtype
+        if TRACE.enabled:
+            TRACE.emit(
+                "l1_event", cat="coherence", node=self.node,
+                line=msg.line, mtype=mtype.name,
+                state=self.state(msg.line).name,
+            )
         if mtype in (MsgType.DATA_S, MsgType.DATA_E, MsgType.DATA_M):
             self._on_data(msg)
         elif mtype is MsgType.EXC_ACK:

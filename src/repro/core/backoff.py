@@ -18,6 +18,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs.trace import TRACE
+
 __all__ = ["BackoffPolicy"]
 
 
@@ -64,7 +66,13 @@ class BackoffPolicy:
         """Random integer slot delay in ``{1 .. ceil(window(retry))}``."""
         window = self.window(retry)
         span = max(1, int(math.ceil(window)))
-        return 1 + int(rng.integers(0, span))
+        draw = 1 + int(rng.integers(0, span))
+        if TRACE.enabled:
+            TRACE.emit(
+                "backoff_draw", cat="backoff",
+                retry=retry, window=window, slots=draw,
+            )
+        return draw
 
     def expected_delay_slots(self, retry: int) -> float:
         """Mean of :meth:`draw_delay_slots` for a given retry."""

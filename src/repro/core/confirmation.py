@@ -21,6 +21,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
+from repro.obs.trace import TRACE
+
 __all__ = ["ConfirmationChannel", "MiniCycleReservations"]
 
 
@@ -97,6 +99,11 @@ class ConfirmationChannel:
         arrival = cycle_received + self.delay
         self._calendar.setdefault(arrival, []).append(action)
         self.confirmations_sent += 1
+        if TRACE.enabled:
+            TRACE.emit(
+                "confirm_scheduled", cat="confirmation",
+                cycle=cycle_received, arrival=arrival,
+            )
         return arrival
 
     def send_signal(self, now: int, action: Callable[[], None]) -> int:
@@ -104,6 +111,11 @@ class ConfirmationChannel:
         arrival = now + self.delay
         self._calendar.setdefault(arrival, []).append(action)
         self.signals_sent += 1
+        if TRACE.enabled:
+            TRACE.emit(
+                "signal_scheduled", cat="confirmation",
+                cycle=now, arrival=arrival,
+            )
         return arrival
 
     def tick(self, cycle: int) -> None:

@@ -43,6 +43,7 @@ from repro.core.optimizations import (
 )
 from repro.core.phase_array import PhaseArray
 from repro.net.interface import Interconnect
+from repro.obs.trace import TRACE
 from repro.net.packet import (
     LaneKind,
     Packet,
@@ -183,6 +184,7 @@ class FsoiNetwork(Interconnect):
                 "collision_events": group.counter("collision_events"),
                 "error_tx": group.counter("error_corrupted"),
                 "slots": group.counter("slots_elapsed"),
+                "delivered": group.counter("delivered"),
             }
         data_group = stats.group(LaneKind.DATA.value)
         self._data_collision_types = {
@@ -237,6 +239,8 @@ class FsoiNetwork(Interconnect):
         return True
 
     def tick(self, cycle: int) -> None:
+        if TRACE.enabled:
+            TRACE.cycle = cycle
         self.confirmations.tick(cycle)
         for action in self._calendar.pop(cycle, ()):  # scheduled outcomes
             action()
@@ -278,6 +282,12 @@ class FsoiNetwork(Interconnect):
             sends.append((packet, setup))
             lane_stats["tx"].add()
             self.stats.bits_sent.add(packet.bits)
+            if TRACE.enabled:
+                TRACE.emit(
+                    "tx", cat="fsoi", cycle=cycle, node=packet.src,
+                    lane=lane.value, packet=packet.uid, dur=slot_len,
+                    dst=packet.dst, retries=packet.retries,
+                )
 
         if not sends:
             return
@@ -323,6 +333,12 @@ class FsoiNetwork(Interconnect):
             self._tx_busy_until[(node, lane)] = cycle + slot_len
             lane_stats["tx"].add()
             self.stats.bits_sent.add(packet.bits)
+            if TRACE.enabled:
+                TRACE.emit(
+                    "tx", cat="fsoi", cycle=cycle, node=packet.src,
+                    lane=lane.value, packet=packet.uid, dur=slot_len,
+                    dst=packet.dst, retries=packet.retries,
+                )
 
             key = (
                 packet.dst,
@@ -340,6 +356,12 @@ class FsoiNetwork(Interconnect):
 
             # Overlap collision: corrupt everything still in the air.
             lane_stats["collision_events"].add()
+            if TRACE.enabled:
+                TRACE.emit(
+                    "collision", cat="fsoi", cycle=cycle, node=packet.dst,
+                    lane=lane.value,
+                    senders=sorted({packet.src, *(p.src for _e, p in active)}),
+                )
             if lane is LaneKind.DATA:
                 self._data_collision_types[
                     self._classify([packet] + [p for _e, p in active])
@@ -381,8 +403,17 @@ class FsoiNetwork(Interconnect):
         self._schedule(deliver_cycle, deliver)
         hook = packet.on_confirmed
 
+        arrival = receive_cycle + self.confirmations.delay
+
         def confirm() -> None:
-            if not packet._corrupted and hook is not None:
+            if packet._corrupted:
+                return
+            if TRACE.enabled:
+                TRACE.emit(
+                    "confirmation", cat="fsoi", cycle=arrival,
+                    node=packet.src, lane=lane.value, packet=packet.uid,
+                )
+            if hook is not None:
                 hook()
 
         self.confirmations.send_confirmation(receive_cycle, confirm)
@@ -412,6 +443,11 @@ class FsoiNetwork(Interconnect):
             # A signaling error corrupts the packet; the sender sees a
             # missing confirmation, exactly like a collision (§4.3.1).
             self._lane_stats[lane]["error_tx"].add()
+            if TRACE.enabled:
+                TRACE.emit(
+                    "error_corrupt", cat="fsoi", cycle=cycle,
+                    node=packet.dst, lane=lane.value, packet=packet.uid,
+                )
             packet.retries += 1
             receive_cycle = cycle + slot_len - 1 + setup
             detect = receive_cycle + self.confirmations.delay + 1
@@ -434,6 +470,12 @@ class FsoiNetwork(Interconnect):
         # reception; §5.1 consumers hook it via packet.on_confirmed.
         callback = packet.on_confirmed if packet.on_confirmed is not None else _noop
         self.confirmations.send_confirmation(receive_cycle, callback)
+        if TRACE.enabled:
+            TRACE.emit(
+                "confirmation", cat="fsoi",
+                cycle=receive_cycle + self.confirmations.delay,
+                node=packet.src, lane=lane.value, packet=packet.uid,
+            )
         if lane is LaneKind.DATA and self._expected[packet.dst].is_expected(packet.src):
             self._expected[packet.dst].fulfil(packet.src)
 
@@ -449,6 +491,11 @@ class FsoiNetwork(Interconnect):
         lane_stats["collision_events"].add()
         lane_stats["collided_tx"].add(len(members))
         packets = [packet for packet, _setup in members]
+        if TRACE.enabled:
+            TRACE.emit(
+                "collision", cat="fsoi", cycle=cycle, node=dst,
+                lane=lane.value, senders=sorted(p.src for p in packets),
+            )
         if lane is LaneKind.DATA:
             self._data_collision_types[self._classify(packets)].add()
 
@@ -502,6 +549,12 @@ class FsoiNetwork(Interconnect):
         state = self._state[lane][packet.src]
         state.retx_seq += 1
         state.retx.append(_RetxEntry(release, state.retx_seq, packet))
+        if TRACE.enabled:
+            TRACE.emit(
+                "backoff", cat="fsoi", cycle=base_cycle, node=packet.src,
+                lane=lane.value, packet=packet.uid,
+                retries=packet.retries, release=release,
+            )
 
     # ------------------------------------------------------------------
     # §5.2 optimizations
@@ -541,6 +594,12 @@ class FsoiNetwork(Interconnect):
             state.retx.append(
                 _RetxEntry(cycle + slot_len, state.retx_seq, winner)
             )
+            if TRACE.enabled:
+                TRACE.emit(
+                    "hint", cat="fsoi", cycle=cycle, node=dst,
+                    lane=LaneKind.DATA.value, packet=winner.uid,
+                    chosen=chosen, outcome="correct",
+                )
             return winner
         # Mis-identified: if that node happens to have a backed-off data
         # packet it wrongly jumps into the next slot; otherwise it simply
@@ -550,8 +609,15 @@ class FsoiNetwork(Interconnect):
             self._hint_stats["wrong_winner"].add()
             entry = min(state.retx, key=lambda e: (e.release, e.seq))
             entry.release = cycle + slot_len
+            outcome = "wrong_winner"
         else:
             self._hint_stats["ignored"].add()
+            outcome = "ignored"
+        if TRACE.enabled:
+            TRACE.emit(
+                "hint", cat="fsoi", cycle=cycle, node=dst,
+                lane=LaneKind.DATA.value, chosen=chosen, outcome=outcome,
+            )
         return None
 
     def expect_data_from(self, dst: int, src: int) -> None:
@@ -578,6 +644,15 @@ class FsoiNetwork(Interconnect):
     # ------------------------------------------------------------------
     # Internals & reporting
     # ------------------------------------------------------------------
+
+    def _deliver(self, packet: Packet, cycle: int) -> None:
+        self._lane_stats[packet.lane]["delivered"].add()
+        if TRACE.enabled:
+            TRACE.emit(
+                "deliver", cat="fsoi", cycle=cycle, node=packet.dst,
+                lane=packet.lane.value, packet=packet.uid, src=packet.src,
+            )
+        super()._deliver(packet, cycle)
 
     def _schedule(self, cycle: int, action) -> None:
         self._calendar.setdefault(cycle, []).append(action)

@@ -23,6 +23,7 @@ from typing import Callable, Optional
 
 from repro.mesh.routing import Port, xy_route
 from repro.net.packet import Packet
+from repro.obs.trace import TRACE
 
 __all__ = ["Flit", "Router"]
 
@@ -132,6 +133,13 @@ class Router:
             buffer.owner = flit.packet
             buffer.route_port = xy_route(self.node, flit.packet.dst, self.side)
             buffer.out_vc = None
+            if TRACE.enabled:
+                TRACE.emit(
+                    "vc_alloc", cat="mesh", cycle=ready_cycle,
+                    node=self.node, packet=flit.packet.uid,
+                    port=port.name, vc=vc,
+                    route=buffer.route_port.name,
+                )
         buffer.flits.append((ready_cycle, flit))
         self._buffered += 1
         self._occupied.add((port, vc))
@@ -220,6 +228,13 @@ class Router:
 
         if out_port is Port.LOCAL:
             if flit.is_tail:
+                if TRACE.enabled:
+                    TRACE.emit(
+                        "eject", cat="mesh",
+                        cycle=cycle + self.router_latency,
+                        node=self.node, packet=flit.packet.uid,
+                        src=flit.packet.src,
+                    )
                 self.deliver(flit.packet, cycle + self.router_latency)
                 self._release_vc(buffer)
             return

@@ -1,0 +1,49 @@
+"""Simulation observability: metrics registry, event tracing, profiling.
+
+Three orthogonal facilities, all designed to be **zero-overhead when
+disabled** (every instrumentation site is a single guarded attribute
+check) and **non-perturbing when enabled** (they only read simulator
+state — no RNG draws, no scheduling changes — so a traced run produces
+bit-identical results to an untraced one):
+
+* :class:`MetricsRegistry` — a hierarchical, snapshot-able registry
+  that unifies the scattered :class:`~repro.util.stats.StatGroup`
+  trees (network, per-node L1/directory, memory, sync) behind one
+  export surface with canonical JSON and CSV serialization.
+  :meth:`repro.cmp.CmpSystem.metrics_registry` builds one for a run.
+* :class:`Tracer` / the global :data:`TRACE` — a ring-buffered
+  structured event trace with points wired into the FSOI tick loop,
+  back-off, confirmation channel, mesh routers and the coherence
+  layer.  Events are filterable by node / lane / packet and export as
+  JSONL in the ``chrome://tracing`` trace-event format.
+* :class:`PhaseProfiler` / the global :data:`PROFILER` — per-phase
+  wall-time attribution of the cycle loop (calendar, memory, network,
+  cores), surfaced through ``repro profile``.
+
+See ``docs/observability.md`` for the trace format, registry schema
+and profiling workflow.
+"""
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import (
+    TRACE,
+    TraceEvent,
+    Tracer,
+    tracing,
+    validate_event,
+    validate_trace_file,
+)
+from repro.obs.profile import PROFILER, PhaseProfiler, profiling
+
+__all__ = [
+    "MetricsRegistry",
+    "PROFILER",
+    "PhaseProfiler",
+    "TRACE",
+    "TraceEvent",
+    "Tracer",
+    "profiling",
+    "tracing",
+    "validate_event",
+    "validate_trace_file",
+]

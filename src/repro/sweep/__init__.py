@@ -31,6 +31,7 @@ from repro.sweep.runner import (
     SweepReport,
     execute_point,
     load_jsonl,
+    metrics_filename,
     run_sweep,
 )
 from repro.sweep.spec import (
@@ -54,6 +55,7 @@ __all__ = [
     "execute_point",
     "load_jsonl",
     "make_point",
+    "metrics_filename",
     "point_key",
     "run_sweep",
 ]

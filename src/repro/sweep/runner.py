@@ -25,6 +25,7 @@ determinism tests compare the parallel runs against.
 
 from __future__ import annotations
 
+import functools
 import json
 import signal
 import threading
@@ -46,6 +47,7 @@ __all__ = [
     "SweepReport",
     "execute_point",
     "load_jsonl",
+    "metrics_filename",
     "run_sweep",
 ]
 
@@ -54,16 +56,40 @@ class PointTimeout(Exception):
     """A point exceeded the per-point timeout."""
 
 
-def execute_point(point_dict: dict) -> dict:
+def execute_point(point_dict: dict, metrics_dir: Optional[str] = None) -> dict:
     """Run one experiment; the default worker payload.
 
     Takes and returns plain dicts so the call crosses process
-    boundaries with no custom pickling.
+    boundaries with no custom pickling.  With ``metrics_dir`` set, the
+    run's full metrics-registry snapshot (see
+    :meth:`repro.cmp.CmpSystem.metrics_registry`) is archived there as
+    ``<label>_<hash>.json`` before the result is returned.
     """
     from repro.cmp.system import CmpSystem
 
     point = SweepPoint.from_dict(point_dict)
-    return CmpSystem(point.to_config()).run(point.cycles).to_dict()
+    system = CmpSystem(point.to_config())
+    result = system.run(point.cycles).to_dict()
+    if metrics_dir is not None:
+        directory = Path(metrics_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        system.metrics_registry().write(directory / metrics_filename(point))
+    return result
+
+
+def metrics_filename(point: SweepPoint) -> str:
+    """Deterministic per-point metrics archive filename.
+
+    The label keeps the file recognisable; the content-hash suffix
+    disambiguates points whose labels coincide (e.g. same grid at two
+    cycle counts).
+    """
+    import hashlib
+
+    digest = hashlib.sha256(
+        canonical_json(point.to_dict()).encode()
+    ).hexdigest()[:10]
+    return f"{point.label().replace('/', '_')}_{digest}.json"
 
 
 def _worker(
@@ -266,6 +292,7 @@ def run_sweep(
     cache: Optional[ResultCache] = None,
     timeout: Optional[float] = None,
     jsonl_path=None,
+    metrics_path=None,
     code_version: Optional[str] = None,
     execute: Callable[[dict], dict] = execute_point,
     progress: Optional[Callable[[int, int, PointOutcome], None]] = None,
@@ -286,6 +313,13 @@ def run_sweep(
         marked failed.
     jsonl_path:
         Stream results here as canonical JSONL, in point order.
+    metrics_path:
+        Directory in which every *executed* point archives its full
+        metrics-registry snapshot (one JSON file per point, named by
+        :func:`metrics_filename`).  Cache hits skip the simulator and
+        therefore do not write snapshots — archive metrics with the
+        cache off, or on the cold pass.  A custom ``execute`` callable
+        must accept a ``metrics_dir`` keyword to use this.
     code_version:
         Override the cache's code-version tag (testing/pinning).
     execute:
@@ -301,6 +335,10 @@ def run_sweep(
     points = spec.points() if isinstance(spec, SweepSpec) else list(spec)
     if cache is None and cache_dir is not None:
         cache = ResultCache(cache_dir, version=code_version)
+    if metrics_path is not None:
+        # functools.partial of a module-level callable stays picklable
+        # for the process-pool path.
+        execute = functools.partial(execute, metrics_dir=str(metrics_path))
     started = time.perf_counter()
     writer = _OrderedJsonlWriter(jsonl_path)
     outcomes: list[Optional[PointOutcome]] = [None] * len(points)

@@ -64,14 +64,19 @@ class LatencyStat:
     here record at most a few hundred thousand samples per run.
     """
 
-    __slots__ = ("name", "samples")
+    __slots__ = ("name", "samples", "_sorted")
 
     def __init__(self, name: str):
         self.name = name
         self.samples: list[float] = []
+        self._sorted: list[float] | None = None
 
     def record(self, value: float) -> None:
-        self.samples.append(float(value))
+        value = float(value)
+        if math.isnan(value):
+            raise ValueError(f"{self.name}: cannot record NaN")
+        self.samples.append(value)
+        self._sorted = None
 
     @property
     def count(self) -> int:
@@ -94,14 +99,19 @@ class LatencyStat:
         return max(self.samples) if self.samples else 0.0
 
     def percentile(self, q: float) -> float:
-        """Nearest-rank percentile; ``q`` in [0, 100]."""
-        if not self.samples:
-            return 0.0
+        """Nearest-rank percentile; ``q`` in [0, 100].
+
+        An out-of-range ``q`` raises even when no samples were recorded
+        (a bad quantile is a caller bug regardless of sample count).
+        """
         if not 0.0 <= q <= 100.0:
             raise ValueError(f"percentile out of range: {q}")
-        ordered = sorted(self.samples)
-        rank = max(0, math.ceil(q / 100.0 * len(ordered)) - 1)
-        return ordered[rank]
+        if not self.samples:
+            return 0.0
+        if self._sorted is None:
+            self._sorted = sorted(self.samples)
+        rank = max(0, math.ceil(q / 100.0 * len(self._sorted)) - 1)
+        return self._sorted[rank]
 
     def summary(self) -> dict[str, float]:
         return {
@@ -146,12 +156,17 @@ class Histogram:
         return (self.hi - self.lo) / self.nbins
 
     def record(self, value: float) -> None:
+        value = float(value)
+        if math.isnan(value):
+            raise ValueError(f"{self.name}: cannot record NaN")
         self.count += 1
         if value >= self.hi:
             self.bins[self.nbins] += 1
             return
+        # Float division can round a value just below ``hi`` up to index
+        # ``nbins``; clamp to keep every in-range sample in a regular bin.
         index = int((value - self.lo) / self.bin_width)
-        self.bins[max(0, index)] += 1
+        self.bins[min(self.nbins - 1, max(0, index))] += 1
 
     def fractions(self) -> list[float]:
         """Per-bin fraction of all samples (sums to 1 when count > 0)."""

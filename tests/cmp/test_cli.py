@@ -1,8 +1,11 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
+from repro.obs import validate_trace_file
 
 
 class TestParser:
@@ -66,3 +69,49 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "microchannel" in out
         assert "OK" in out
+
+
+class TestTraceCommand:
+    def test_trace_writes_schema_valid_jsonl(self, capsys, tmp_path):
+        out_path = tmp_path / "trace.jsonl"
+        assert main([
+            "trace", "--app", "ba", "--cycles", "1500",
+            "--out", str(out_path),
+        ]) == 0
+        assert validate_trace_file(out_path) > 0
+        stdout = capsys.readouterr().out
+        assert "events" in stdout and "fsoi" in stdout
+
+    def test_trace_chrome_and_metrics_exports(self, capsys, tmp_path):
+        out_path = tmp_path / "trace.jsonl"
+        chrome_path = tmp_path / "trace.json"
+        metrics_path = tmp_path / "metrics.json"
+        assert main([
+            "trace", "--app", "ba", "--cycles", "1500",
+            "--out", str(out_path),
+            "--chrome", str(chrome_path),
+            "--metrics", str(metrics_path),
+        ]) == 0
+        chrome = json.loads(chrome_path.read_text())
+        assert chrome["traceEvents"]
+        metrics = json.loads(metrics_path.read_text())
+        assert metrics["run"]["cycles"] == 1500
+
+    def test_trace_filters_restrict_output(self, capsys, tmp_path):
+        out_path = tmp_path / "trace.jsonl"
+        assert main([
+            "trace", "--app", "ba", "--cycles", "1500",
+            "--out", str(out_path),
+            "--categories", "coherence", "--node", "2",
+        ]) == 0
+        for line in out_path.read_text().splitlines():
+            event = json.loads(line)
+            assert event["cat"] == "coherence"
+            assert event["pid"] == 2
+
+    def test_profile(self, capsys):
+        assert main(["profile", "--app", "ba", "--cycles", "1500"]) == 0
+        out = capsys.readouterr().out
+        assert "phase" in out and "share" in out
+        for phase in ("network", "cores", "calendar"):
+            assert phase in out

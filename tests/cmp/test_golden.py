@@ -98,6 +98,58 @@ def test_golden_snapshot(network, request):
     )
 
 
+def metrics_golden_path(network: str) -> Path:
+    return DATA_DIR / f"golden_metrics_{network}_{NUM_NODES}.json"
+
+
+@pytest.mark.parametrize("network", NETWORKS)
+def test_golden_metrics_snapshot(network, request):
+    """The observability registry's export is part of the frozen surface.
+
+    Same run as :func:`test_golden_snapshot`, but snapshotting the full
+    ``CmpSystem.metrics_registry()`` export — so renaming a counter,
+    dropping a stat group or changing export formatting fails loudly.
+    """
+    config = CmpConfig(
+        num_nodes=NUM_NODES, app=APP, network=network, seed=SEED
+    )
+    system = CmpSystem(config)
+    system.run(CYCLES)
+    actual = json.loads(system.metrics_registry().to_json())
+    path = metrics_golden_path(network)
+    if request.config.getoption("--update-golden"):
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(actual, indent=1, sort_keys=True) + "\n")
+        return
+    assert path.exists(), (
+        f"missing golden metrics snapshot {path}; generate it with "
+        "`pytest tests/cmp/test_golden.py --update-golden`"
+    )
+    expected = json.loads(path.read_text())
+    differences = _diff(expected, actual)
+    assert not differences, (
+        f"{network} metrics export diverged from {path.name} in "
+        f"{len(differences)} field(s):\n  "
+        + "\n  ".join(differences[:20])
+        + "\nIf the change is intentional, regenerate with "
+        "`pytest tests/cmp/test_golden.py --update-golden` and commit."
+    )
+
+
+def test_golden_metrics_snapshots_are_meaningful():
+    """The metrics snapshots must cover every mounted subsystem."""
+    for network in NETWORKS:
+        data = json.loads(metrics_golden_path(network).read_text())
+        assert data["run"]["cycles"] == CYCLES
+        assert data["run"]["instructions"] > 0
+        assert data["network"]  # the network stat tree is mounted
+        for node in (0, NUM_NODES - 1):
+            assert f"n{node:02d}" in data["l1"]
+            assert f"n{node:02d}" in data["directory"]
+    fsoi = json.loads(metrics_golden_path("fsoi").read_text())
+    assert fsoi["confirmation"]["confirmations_sent"] > 0
+
+
 def test_golden_snapshots_are_meaningful():
     """The snapshots must exercise the interesting machinery."""
     for network in NETWORKS:

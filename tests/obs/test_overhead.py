@@ -1,0 +1,57 @@
+"""The zero-overhead-when-disabled promise, kept honest.
+
+Every trace point in the hot loops compiles to ``if TRACE.enabled:``
+followed by the emit call.  These tests pin down that the disabled
+path (a) emits nothing, (b) costs on the order of one attribute load
+and branch, and (c) leaves simulation results bit-for-bit identical —
+the property the golden snapshots depend on.
+"""
+
+from time import perf_counter
+
+from repro.cmp import CmpConfig, CmpSystem
+from repro.obs import PROFILER, TRACE
+
+
+def test_disabled_by_default():
+    assert not TRACE.enabled
+    assert not PROFILER.enabled
+
+
+def test_disabled_run_emits_nothing():
+    TRACE.clear()
+    config = CmpConfig(num_nodes=16, app="ba", network="fsoi", seed=0)
+    CmpSystem(config).run(500)
+    assert TRACE.emitted == 0
+    assert len(TRACE) == 0
+
+
+def test_disabled_guard_cost_is_bounded():
+    """The guard must stay O(attribute load + branch).
+
+    The bound is deliberately generous (2 µs/check — two orders of
+    magnitude above a bare attribute load on any modern machine) so the
+    test only fires if someone replaces the guard with real work, not
+    on a slow CI box.
+    """
+    iterations = 200_000
+    start = perf_counter()
+    for _ in range(iterations):
+        if TRACE.enabled:
+            TRACE.emit("never", cat="never")
+    per_check = (perf_counter() - start) / iterations
+    assert TRACE.emitted == 0
+    assert per_check < 2e-6, f"disabled guard costs {per_check * 1e9:.0f}ns"
+
+
+def test_disabled_run_results_identical_to_fresh_process_shape():
+    """Same config, traced module imported, twice: identical results.
+
+    Together with the golden snapshots (computed before the trace
+    points existed) this pins 'instrumentation consumes no RNG and
+    alters no scheduling'.
+    """
+    config = CmpConfig(num_nodes=16, app="oc", network="fsoi", seed=0)
+    first = CmpSystem(config).run(500).to_dict()
+    second = CmpSystem(config).run(500).to_dict()
+    assert first == second

@@ -1,0 +1,114 @@
+"""Tests for the hierarchical metrics registry and its exports."""
+
+import json
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.util.stats import StatGroup
+
+
+def make_registry():
+    reg = MetricsRegistry("test")
+    net = StatGroup("net")
+    net.counter("sent").add(3)
+    net.group("meta").counter("collisions").add(1)
+    reg.mount("network", net)
+    reg.gauge("run.cycles", 2500)
+    reg.gauge("run.app", "oc")
+    return reg, net
+
+
+class TestMounting:
+    def test_snapshot_nests_by_dotted_path(self):
+        reg, _ = make_registry()
+        snap = reg.snapshot()
+        assert snap["network"]["sent"] == 3
+        assert snap["network"]["meta"]["collisions"] == 1
+        assert snap["run"] == {"cycles": 2500, "app": "oc"}
+
+    def test_mount_is_by_reference(self):
+        reg, net = make_registry()
+        net.counter("sent").add(7)
+        assert reg.snapshot()["network"]["sent"] == 10
+
+    def test_callable_gauge_read_at_snapshot_time(self):
+        reg = MetricsRegistry()
+        box = {"v": 1}
+        reg.gauge("live", lambda: box["v"])
+        assert reg.snapshot()["live"] == 1
+        box["v"] = 9
+        assert reg.snapshot()["live"] == 9
+
+    def test_duplicate_mount_rejected(self):
+        reg, _ = make_registry()
+        with pytest.raises(ValueError):
+            reg.mount("network", StatGroup("other"))
+
+    def test_duplicate_gauge_rejected(self):
+        reg, _ = make_registry()
+        with pytest.raises(ValueError):
+            reg.gauge("run.cycles", 1)
+
+    def test_empty_path_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.gauge("", 1)
+
+    def test_path_collision_between_gauge_and_group(self):
+        reg, _ = make_registry()
+        reg.gauge("network.sent", 99)  # collides with the counter
+        with pytest.raises(ValueError):
+            reg.snapshot()
+
+    def test_paths_sorted(self):
+        reg, _ = make_registry()
+        assert reg.paths == ["network", "run.app", "run.cycles"]
+
+
+class TestExport:
+    def test_flatten_uses_dotted_paths_and_indices(self):
+        reg = MetricsRegistry()
+        reg.gauge("hist", lambda: {"count": 2, "fractions": [0.5, 0.5]})
+        flat = reg.flatten()
+        assert flat == {
+            "hist.count": 2,
+            "hist.fractions[0]": 0.5,
+            "hist.fractions[1]": 0.5,
+        }
+
+    def test_to_json_is_canonical(self):
+        reg, _ = make_registry()
+        text = reg.to_json()
+        assert text.endswith("\n")
+        assert json.loads(text)["network"]["sent"] == 3
+        # sorted keys => byte-identical across identical runs
+        assert text == reg.to_json()
+        assert text.index('"network"') < text.index('"run"')
+
+    def test_to_csv_rows_sorted_by_path(self):
+        reg, _ = make_registry()
+        lines = reg.to_csv().splitlines()
+        assert lines[0] == "metric,value"
+        paths = [line.split(",", 1)[0] for line in lines[1:]]
+        assert paths == sorted(paths)
+        assert "network.sent,3" in lines
+
+    def test_write_picks_format_by_suffix(self, tmp_path):
+        reg, _ = make_registry()
+        json_path = tmp_path / "m.json"
+        csv_path = tmp_path / "m.csv"
+        reg.write(json_path)
+        reg.write(csv_path)
+        assert json.loads(json_path.read_text())["run"]["cycles"] == 2500
+        assert csv_path.read_text().startswith("metric,value")
+
+    def test_latency_and_histogram_render_as_dicts(self):
+        group = StatGroup("g")
+        group.latency("lat").record(4)
+        group.histogram("h", 0, 10, 2).record(1)
+        reg = MetricsRegistry()
+        reg.mount("g", group)
+        snap = reg.snapshot()
+        assert snap["g"]["lat"]["count"] == 1
+        assert snap["g"]["h"]["count"] == 1

@@ -1,0 +1,96 @@
+"""End-to-end tracing of full CmpSystem runs.
+
+Covers the two load-bearing promises of the trace layer: a traced run
+surfaces events from every instrumented subsystem in schema-valid
+form, and turning tracing off changes *nothing* about the simulation
+itself (identical results, no RNG consumption).
+"""
+
+import pytest
+
+from repro.cmp import CmpConfig, CmpSystem
+from repro.obs import TRACE, tracing, validate_trace_file
+
+NUM_NODES = 16
+CYCLES = 2000
+
+
+def run(network, seed=0, traced=False, **tracing_kwargs):
+    config = CmpConfig(num_nodes=NUM_NODES, app="ba", network=network, seed=seed)
+    if not traced:
+        return CmpSystem(config).run(CYCLES).to_dict(), None
+    with tracing(**tracing_kwargs) as tracer:
+        result = CmpSystem(config).run(CYCLES).to_dict()
+    return result, tracer
+
+
+class TestTracedRun:
+    def test_fsoi_run_covers_every_category(self):
+        _, tracer = run("fsoi", traced=True)
+        counts = tracer.category_counts()
+        for cat in ("fsoi", "coherence", "confirmation", "backoff"):
+            assert counts.get(cat, 0) > 0, f"no {cat!r} events in {counts}"
+
+    def test_fsoi_run_covers_protocol_event_names(self):
+        _, tracer = run("fsoi", traced=True)
+        names = {event.name for event in tracer.events()}
+        for name in ("tx", "deliver", "collision", "confirmation",
+                     "backoff", "l1_request", "dir_event"):
+            assert name in names, f"no {name!r} events in {sorted(names)}"
+
+    def test_mesh_run_emits_mesh_and_coherence_events(self):
+        _, tracer = run("mesh", traced=True)
+        counts = tracer.category_counts()
+        assert counts.get("mesh", 0) > 0
+        assert counts.get("coherence", 0) > 0
+        names = {event.name for event in tracer.events()}
+        assert "vc_alloc" in names and "eject" in names
+
+    def test_traced_jsonl_export_is_schema_valid(self, tmp_path):
+        _, tracer = run("fsoi", traced=True)
+        path = tmp_path / "trace.jsonl"
+        written = tracer.write_jsonl(path)
+        assert validate_trace_file(path) == written > 0
+
+    def test_node_filter_restricts_export(self, tmp_path):
+        _, tracer = run("fsoi", traced=True)
+        node_events = list(tracer.events(node=3))
+        assert node_events
+        assert all(e.node == 3 for e in node_events)
+
+    def test_every_delivery_has_a_matching_tx(self):
+        """Per-packet causality: a delivered packet uid was transmitted."""
+        _, tracer = run("fsoi", traced=True, capacity=1 << 20)
+        assert tracer.dropped == 0
+        tx_uids = {e.packet for e in tracer.events(name="tx")}
+        delivered = [e for e in tracer.events(name="deliver")]
+        assert delivered
+        for event in delivered:
+            assert event.packet in tx_uids
+
+
+class TestTracingIsPassive:
+    """Tracing must be an observer: results identical either way."""
+
+    @pytest.mark.parametrize("network", ["fsoi", "mesh"])
+    def test_traced_run_matches_untraced_results(self, network):
+        baseline, _ = run(network)
+        traced, tracer = run(network, traced=True)
+        assert traced == baseline
+        assert tracer.emitted > 0  # the trace actually happened
+
+    def test_tiny_ring_still_passive(self):
+        """Drops in a saturated ring must not leak into simulation state."""
+        baseline, _ = run("fsoi")
+        traced, tracer = run("fsoi", traced=True, capacity=64)
+        assert tracer.dropped > 0
+        assert traced == baseline
+
+    def test_category_filter_still_passive(self):
+        baseline, _ = run("fsoi")
+        traced, tracer = run("fsoi", traced=True, categories=["coherence"])
+        assert set(tracer.category_counts()) == {"coherence"}
+        assert traced == baseline
+
+    def test_trace_left_disabled_after_runs(self):
+        assert not TRACE.enabled

@@ -18,6 +18,7 @@ from repro.sweep import (
     SweepSpec,
     load_jsonl,
     make_point,
+    metrics_filename,
     run_sweep,
 )
 
@@ -121,6 +122,48 @@ class TestRunSweep:
         run_sweep(_spec().points(), workers=1,
                   progress=lambda done, total, o: seen.append((done, total)))
         assert seen == [(1, 4), (2, 4), (3, 4), (4, 4)]
+
+
+class TestMetricsArchive:
+    def test_every_executed_point_archives_a_snapshot(self, tmp_path):
+        spec = _spec()
+        metrics_dir = tmp_path / "metrics"
+        report = run_sweep(spec, workers=1, metrics_path=metrics_dir)
+        assert report.executed == 4
+        files = sorted(metrics_dir.glob("*.json"))
+        assert len(files) == 4
+        expected = {metrics_filename(p) for p in spec.points()}
+        assert {f.name for f in files} == expected
+        for path in files:
+            snapshot = json.loads(path.read_text())
+            assert snapshot["run"]["cycles"] == spec.cycles
+            assert snapshot["network"]
+
+    def test_metrics_filenames_distinguish_cycle_counts(self):
+        a = make_point(app="ba", network="fsoi", cycles=300)
+        b = make_point(app="ba", network="fsoi", cycles=600)
+        assert metrics_filename(a) != metrics_filename(b)
+
+    def test_cache_hits_skip_metrics_archiving(self, tmp_path):
+        spec = _spec(apps=("ba",), networks=("fsoi",))
+        metrics_dir = tmp_path / "metrics"
+        run_sweep(spec, workers=1, cache_dir=tmp_path / "cache",
+                  metrics_path=metrics_dir)
+        assert len(list(metrics_dir.glob("*.json"))) == 1
+        for stale in metrics_dir.glob("*.json"):
+            stale.unlink()
+        warm = run_sweep(spec, workers=1, cache_dir=tmp_path / "cache",
+                         metrics_path=metrics_dir)
+        assert warm.from_cache == 1
+        assert not list(metrics_dir.glob("*.json"))
+
+    @needs_fork
+    def test_parallel_workers_archive_metrics(self, tmp_path):
+        spec = _spec()
+        metrics_dir = tmp_path / "metrics"
+        report = run_sweep(spec, workers=2, metrics_path=metrics_dir)
+        assert report.ok == 4
+        assert len(list(metrics_dir.glob("*.json"))) == 4
 
 
 class TestParallel:

@@ -82,6 +82,30 @@ class TestLatencyStat:
         with pytest.raises(ValueError):
             stat.percentile(101)
 
+    def test_percentile_range_checked_even_when_empty(self):
+        # Historically an out-of-range q on an empty stat returned 0.0
+        # silently; a bad quantile is a caller bug regardless of count.
+        stat = LatencyStat("t")
+        with pytest.raises(ValueError):
+            stat.percentile(-1)
+        with pytest.raises(ValueError):
+            stat.percentile(100.5)
+
+    def test_nan_rejected(self):
+        stat = LatencyStat("t")
+        with pytest.raises(ValueError):
+            stat.record(math.nan)
+        assert stat.count == 0
+
+    def test_sorted_cache_invalidated_by_record(self):
+        stat = LatencyStat("t")
+        stat.record(10)
+        assert stat.percentile(50) == 10
+        stat.record(1)
+        stat.record(2)
+        assert stat.percentile(0) == 1
+        assert stat.percentile(100) == 10
+
     @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=50))
     def test_percentiles_bounded_by_extremes(self, values):
         stat = LatencyStat("t")
@@ -146,6 +170,32 @@ class TestHistogram:
         for v in values:
             h.record(v)
         assert sum(h.bins) == h.count == len(values)
+
+    def test_float_edge_just_below_hi_stays_in_last_regular_bin(self):
+        # (value - lo) / bin_width can round up to nbins for values a few
+        # ulps below hi; those must land in the last regular bin, not
+        # raise IndexError or spill into overflow.
+        h = Histogram("h", 0.0, 0.3, 3)
+        h.record(math.nextafter(0.3, 0.0))
+        assert h.bins[2] == 1
+        assert h.bins[3] == 0
+
+    def test_nan_rejected(self):
+        h = Histogram("h", 0, 10, 5)
+        with pytest.raises(ValueError):
+            h.record(math.nan)
+        assert h.count == 0
+
+    @given(st.floats(min_value=-1e9, max_value=1e9),
+           st.floats(min_value=1e-6, max_value=1e9),
+           st.integers(min_value=1, max_value=40),
+           st.lists(st.floats(allow_nan=False, allow_infinity=False,
+                              min_value=-1e12, max_value=1e12), max_size=40))
+    def test_record_never_raises_for_finite_input(self, lo, width, nbins, values):
+        h = Histogram("h", lo, lo + width, nbins)
+        for v in values:
+            h.record(v)
+        assert sum(h.bins) == len(values)
 
 
 class TestStatGroup:
