@@ -34,6 +34,7 @@ results for every table and figure.
 from repro.cmp import CmpConfig, CmpResults, CmpSystem, run_app
 from repro.config import SystemConfig, table3
 from repro.core import FsoiConfig, FsoiNetwork, OpticalLink, OptimizationConfig
+from repro.faults import FaultPlan
 
 __version__ = "1.0.0"
 
@@ -44,6 +45,7 @@ __all__ = [
     "run_app",
     "SystemConfig",
     "table3",
+    "FaultPlan",
     "FsoiConfig",
     "FsoiNetwork",
     "OpticalLink",

@@ -16,6 +16,9 @@ Commands
 ``trace --app oc --network fsoi --out trace.jsonl``
     Run one experiment with event tracing on and export the trace as
     chrome://tracing-compatible JSONL (see docs/observability.md).
+``faults --app oc --kill 3:data --drop-confirmations 0.05``
+    Run one fault-injected FSOI experiment and print the resilience
+    report (see repro.faults and docs/faults.md).
 ``profile --app oc --network fsoi``
     Run one experiment with per-phase wall-time profiling and print
     the cycle-loop attribution table.
@@ -157,7 +160,7 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument(
         "--categories", default=None,
         help="comma-separated category allow-list "
-        "(fsoi,mesh,coherence,confirmation,backoff; default: all)",
+        "(fsoi,mesh,coherence,confirmation,backoff,fault; default: all)",
     )
     trace.add_argument(
         "--node", type=int, default=None,
@@ -176,6 +179,71 @@ def build_parser() -> argparse.ArgumentParser:
         "profile", help="run one experiment with cycle-loop profiling"
     )
     add_run_args(profile)
+
+    faults = sub.add_parser(
+        "faults", help="run one fault-injected FSOI experiment"
+    )
+    faults.add_argument("--app", default="oc", choices=sorted(APPLICATIONS))
+    faults.add_argument("--nodes", type=int, default=16)
+    faults.add_argument("--cycles", type=int, default=10_000)
+    faults.add_argument("--seed", type=int, default=0)
+    faults.add_argument(
+        "--optimized", action="store_true",
+        help="enable all §5 optimizations",
+    )
+    faults.add_argument(
+        "--plan", default=None, metavar="PLAN.JSON",
+        help="load the FaultPlan from a JSON file (overrides fault flags)",
+    )
+    faults.add_argument(
+        "--kill", action="append", default=[],
+        metavar="NODE:LANE[:START[:END]]",
+        help="kill a node's transmit lane (lane meta|data; omit END for "
+        "a permanent fault); repeatable",
+    )
+    faults.add_argument(
+        "--kill-receiver", action="append", default=[],
+        metavar="NODE:LANE:RX[:START[:END]]",
+        help="kill one of a node's receivers; traffic is spared onto "
+        "the next healthy receiver; repeatable",
+    )
+    faults.add_argument(
+        "--droop", action="append", default=[],
+        metavar="DB[:START[:END]]",
+        help="thermal VCSEL power droop in dB, mapped to BER through "
+        "the optical chain; repeatable",
+    )
+    faults.add_argument(
+        "--droop-node", type=int, default=None,
+        help="restrict --droop to one transmitting node (default: all)",
+    )
+    faults.add_argument(
+        "--burst", action="append", default=[],
+        metavar="RATE[:START[:END]]",
+        help="bit-error burst: per-packet corruption probability over a "
+        "window; repeatable",
+    )
+    faults.add_argument(
+        "--drop-confirmations", type=float, default=0.0, metavar="RATE",
+        help="drop this fraction of confirmation pulses",
+    )
+    faults.add_argument(
+        "--giveup", type=int, default=None, metavar="RETRIES",
+        help="senders abandon a packet after this many retries "
+        "(default: retry forever)",
+    )
+    faults.add_argument(
+        "--fault-seed", type=int, default=0,
+        help="seed of the injector's private RNG streams",
+    )
+    faults.add_argument(
+        "--metrics", default=None, metavar="METRICS.{JSON,CSV}",
+        help="export the run's metrics-registry snapshot",
+    )
+    faults.add_argument(
+        "--save-plan", default=None, metavar="PLAN.JSON",
+        help="write the assembled FaultPlan as JSON and continue",
+    )
 
     thermal = sub.add_parser("thermal", help="§3.3 cooling-option survey")
     thermal.add_argument("--power", type=float, default=121.0)
@@ -375,6 +443,141 @@ def _cmd_profile(args) -> int:
     return 0
 
 
+def _window(parts: list[str], what: str) -> tuple[int, "int | None"]:
+    """Parse the optional ``[:START[:END]]`` tail of a fault flag."""
+    try:
+        start = int(parts[0]) if len(parts) > 0 and parts[0] else 0
+        end = int(parts[1]) if len(parts) > 1 and parts[1] else None
+    except ValueError as exc:
+        raise SystemExit(f"repro faults: bad {what} window: {exc}")
+    return start, end
+
+
+def _faults_plan(args) -> "FaultPlan":
+    import json
+
+    from repro.faults import (
+        ConfirmationDrop,
+        ErrorBurst,
+        FaultPlan,
+        LaneFault,
+        ReceiverFault,
+        ThermalDroop,
+    )
+
+    if args.plan:
+        with open(args.plan) as handle:
+            return FaultPlan.from_dict(json.load(handle))
+
+    lane_faults = []
+    for spec in args.kill:
+        parts = spec.split(":")
+        if len(parts) < 2:
+            raise SystemExit(f"repro faults: --kill wants NODE:LANE, got {spec!r}")
+        start, end = _window(parts[2:], "--kill")
+        lane_faults.append(
+            LaneFault(node=int(parts[0]), lane=parts[1], start=start, end=end)
+        )
+    receiver_faults = []
+    for spec in args.kill_receiver:
+        parts = spec.split(":")
+        if len(parts) < 3:
+            raise SystemExit(
+                f"repro faults: --kill-receiver wants NODE:LANE:RX, got {spec!r}"
+            )
+        start, end = _window(parts[3:], "--kill-receiver")
+        receiver_faults.append(
+            ReceiverFault(
+                node=int(parts[0]), lane=parts[1], receiver=int(parts[2]),
+                start=start, end=end,
+            )
+        )
+    droops = []
+    for spec in args.droop:
+        parts = spec.split(":")
+        start, end = _window(parts[1:], "--droop")
+        droops.append(
+            ThermalDroop(
+                droop_db=float(parts[0]), node=args.droop_node,
+                start=start, end=end,
+            )
+        )
+    bursts = []
+    for spec in args.burst:
+        parts = spec.split(":")
+        start, end = _window(parts[1:], "--burst")
+        bursts.append(ErrorBurst(rate=float(parts[0]), start=start, end=end))
+    drops = []
+    if args.drop_confirmations > 0.0:
+        drops.append(ConfirmationDrop(rate=args.drop_confirmations))
+    try:
+        return FaultPlan(
+            label="cli",
+            lane_faults=tuple(lane_faults),
+            receiver_faults=tuple(receiver_faults),
+            droops=tuple(droops),
+            bursts=tuple(bursts),
+            confirmation_drops=tuple(drops),
+            giveup_retries=args.giveup,
+            seed=args.fault_seed,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"repro faults: {exc}")
+
+
+def _cmd_faults(args) -> int:
+    import json
+
+    plan = _faults_plan(args)
+    if plan.is_empty():
+        raise SystemExit(
+            "repro faults: empty plan — give at least one of --plan, --kill, "
+            "--kill-receiver, --droop, --burst, --drop-confirmations, --giveup"
+        )
+    if args.save_plan:
+        with open(args.save_plan, "w") as handle:
+            json.dump(plan.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"plan saved to {args.save_plan}")
+
+    optimizations = (
+        OptimizationConfig.all() if args.optimized else OptimizationConfig.none()
+    )
+    config = CmpConfig(
+        num_nodes=args.nodes,
+        app=args.app,
+        network="fsoi",
+        optimizations=optimizations,
+        faults=plan,
+        seed=args.seed,
+    )
+    system = CmpSystem(config)
+    result = system.run(args.cycles)
+
+    print(f"{args.app} on fsoi, {args.nodes} nodes, {args.cycles} cycles, "
+          f"plan {plan.content_hash()}:")
+    for line in plan.describe().splitlines():
+        print(f"  {line}")
+    print(f"  instructions  {result.instructions:,}  (IPC {result.ipc:.3f})")
+    print(f"  packets       {result.packets_delivered:,} delivered")
+    summary = result.fsoi.get("faults", {})
+    print("  resilience    "
+          f"suppressed {summary.get('meta', {}).get('suppressed', 0) + summary.get('data', {}).get('suppressed', 0):,}, "
+          f"lane-down events {summary.get('lane_down_events', 0):,}, "
+          f"remaps {summary.get('receiver_remaps', 0):,}")
+    print("                "
+          f"injected corrupt {summary.get('meta', {}).get('injected_corrupt', 0) + summary.get('data', {}).get('injected_corrupt', 0):,}, "
+          f"confirmations dropped {summary.get('confirmations_dropped', 0):,}, "
+          f"duplicates {summary.get('meta', {}).get('duplicate_rx', 0) + summary.get('data', {}).get('duplicate_rx', 0):,}")
+    print("                "
+          f"gave up {summary.get('gave_up_lost', 0):,} lost "
+          f"+ {summary.get('gave_up_delivered', 0):,} already-delivered")
+    if args.metrics:
+        system.metrics_registry().write(args.metrics)
+        print(f"  metrics       {args.metrics}")
+    return 0
+
+
 def _cmd_thermal(args) -> int:
     stack = ThermalStack()
     print(f"cooling survey at {args.power:.0f} W chip power:")
@@ -405,6 +608,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_trace(args)
         if args.command == "profile":
             return _cmd_profile(args)
+        if args.command == "faults":
+            return _cmd_faults(args)
         if args.command == "thermal":
             return _cmd_thermal(args)
     except BrokenPipeError:  # pragma: no cover - e.g. `repro link | head`

@@ -38,6 +38,7 @@ from repro.cpu.core import Core, CoreConfig, CoreState
 from repro.cpu.memctrl import MemoryConfig, MemoryController
 from repro.cpu.sync import SyncManager
 from repro.cmp.results import CmpResults
+from repro.faults.plan import FaultPlan
 from repro.mesh.ideal import IdealConfig, IdealNetwork
 from repro.mesh.network import MeshConfig, MeshNetwork
 from repro.net.packet import Packet
@@ -86,6 +87,10 @@ class CmpConfig:
     #: §4.3.1 engineering-margin studies: probability a solo FSOI packet
     #: is corrupted by signaling errors (handled like a collision).
     fsoi_packet_error_rate: float = 0.0
+    #: Fault-injection schedule (repro.faults, docs/faults.md).  An
+    #: empty plan is passive; non-empty plans are FSOI-only — faults
+    #: model the optical substrate's failure modes.
+    faults: Optional[FaultPlan] = None
     local_latency: int = 1
     #: Pre-populate the L2/directory with the workload's reuse pools so
     #: runs measure steady state rather than the cold-start transient
@@ -109,6 +114,15 @@ class CmpConfig:
             raise ValueError(
                 "the §5 optimizations rely on the FSOI confirmation "
                 f"channel; network {self.network!r} cannot use them"
+            )
+        if (
+            self.faults is not None
+            and not self.faults.is_empty()
+            and self.network != "fsoi"
+        ):
+            raise ValueError(
+                "fault plans model the FSOI optical substrate; network "
+                f"{self.network!r} cannot use them"
             )
 
     @property
@@ -253,6 +267,8 @@ class CmpSystem:
             fsoi_kwargs = {}
             if config.fsoi_lanes is not None:
                 fsoi_kwargs["lanes"] = config.fsoi_lanes
+            if config.faults is not None:
+                fsoi_kwargs["faults"] = config.faults
             return FsoiNetwork(
                 FsoiConfig(
                     num_nodes=n,
@@ -571,6 +587,15 @@ class CmpSystem:
                 "confirmation.signals_sent",
                 lambda: self.network.confirmations.signals_sent,
             )
+            if self.network.fault_injector is not None:
+                # Gauges exist only under an active plan so fault-free
+                # metrics snapshots stay byte-identical.
+                reg.gauge(
+                    "confirmation.confirmations_dropped",
+                    lambda: self.network.confirmations.confirmations_dropped,
+                )
+                reg.gauge("fault.plan_label", self.config.faults.label)
+                reg.gauge("fault.plan_hash", self.config.faults.content_hash())
         return reg
 
     # ------------------------------------------------------------------
@@ -612,6 +637,8 @@ class CmpSystem:
                 "signals": self.network.confirmations.signals_sent,
                 "phase_array": self.network.phase_array_summary(),
             }
+            if self.network.fault_injector is not None:
+                fsoi["faults"] = self.network.fault_summary()
         mesh_activity = (
             self.network.activity() if isinstance(self.network, MeshNetwork) else {}
         )

@@ -62,19 +62,28 @@ class BackoffPolicy:
             raise ValueError(f"retry count is 1-based: {retry}")
         return min(self.start_window * self.base ** (retry - 1), self.max_window)
 
+    def span(self, retry: int) -> int:
+        """Integer slot span of the retry's window: ``ceil(window)``, >= 1.
+
+        The single source of truth shared by :meth:`draw_delay_slots`
+        and :meth:`expected_delay_slots` — draws are uniform over
+        ``{1 .. span(retry)}``.
+
+        >>> BackoffPolicy(2.7, 1.1).span(1)
+        3
+        """
+        return max(1, int(math.ceil(self.window(retry))))
+
     def draw_delay_slots(self, rng: np.random.Generator, retry: int) -> int:
-        """Random integer slot delay in ``{1 .. ceil(window(retry))}``."""
-        window = self.window(retry)
-        span = max(1, int(math.ceil(window)))
-        draw = 1 + int(rng.integers(0, span))
+        """Random integer slot delay in ``{1 .. span(retry)}``."""
+        draw = 1 + int(rng.integers(0, self.span(retry)))
         if TRACE.enabled:
             TRACE.emit(
                 "backoff_draw", cat="backoff",
-                retry=retry, window=window, slots=draw,
+                retry=retry, window=self.window(retry), slots=draw,
             )
         return draw
 
     def expected_delay_slots(self, retry: int) -> float:
         """Mean of :meth:`draw_delay_slots` for a given retry."""
-        span = max(1, int(math.ceil(self.window(retry))))
-        return (1 + span) / 2.0
+        return (1 + self.span(retry)) / 2.0

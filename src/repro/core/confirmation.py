@@ -87,6 +87,9 @@ class ConfirmationChannel:
         ]
         self.confirmations_sent = 0
         self.signals_sent = 0
+        #: Confirmations lost to injected faults (repro.faults); such a
+        #: confirmation is never scheduled, so the sender times out.
+        self.confirmations_dropped = 0
 
     def send_confirmation(
         self, cycle_received: int, action: Callable[[], None]
@@ -117,6 +120,20 @@ class ConfirmationChannel:
                 cycle=now, arrival=arrival,
             )
         return arrival
+
+    def record_dropped(self, cycle_received: int) -> None:
+        """Count a confirmation lost to an injected fault.
+
+        The channel is collision-free by construction, so drops only
+        happen under a :class:`repro.faults.FaultPlan`; the caller (the
+        network) decides the drop and simply never schedules the
+        delivery.
+        """
+        self.confirmations_dropped += 1
+        if TRACE.enabled:
+            TRACE.emit(
+                "confirm_dropped", cat="fault", cycle=cycle_received,
+            )
 
     def tick(self, cycle: int) -> None:
         """Deliver everything due at ``cycle``."""

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Optional, Sequence
 
 from repro.net.packet import DATA_PACKET_BITS, META_PACKET_BITS, LaneKind
 
@@ -71,16 +72,38 @@ class LaneConfig:
     def receivers(self, lane: LaneKind) -> int:
         return self.meta_receivers if lane is LaneKind.META else self.data_receivers
 
-    def receiver_for(self, lane: LaneKind, src: int, dst: int, num_nodes: int) -> int:
+    def receiver_for(
+        self,
+        lane: LaneKind,
+        src: int,
+        dst: int,
+        num_nodes: int,
+        healthy: Optional[Sequence[bool]] = None,
+    ) -> int:
         """Static sender-to-receiver partition at the destination.
 
         The ``N - 1`` potential senders to ``dst`` are divided evenly
         among the R receivers (paper §4.3.1): sender rank modulo R.
+
+        ``healthy`` (one flag per receiver, from the fault injector)
+        enables *receiver sparing*: a sender whose nominal receiver is
+        dead probes linearly to the next healthy one — a deterministic
+        remap every sender computes identically, so the partition stays
+        collision-consistent.  Returns ``-1`` when every receiver is
+        dead.
         """
         if src == dst:
             raise ValueError("no receiver for self-traffic")
         rank = src if src < dst else src - 1  # rank of src among dst's senders
-        return rank % self.receivers(lane)
+        count = self.receivers(lane)
+        nominal = rank % count
+        if healthy is None:
+            return nominal
+        for probe in range(count):
+            candidate = (nominal + probe) % count
+            if healthy[candidate]:
+                return candidate
+        return -1
 
     def total_vcsels_per_node(self, num_nodes: int, dedicated: bool) -> int:
         """Transmit VCSEL count per node.

@@ -42,6 +42,8 @@ from repro.core.optimizations import (
     SlotReservations,
 )
 from repro.core.phase_array import PhaseArray
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
 from repro.net.interface import Interconnect
 from repro.obs.trace import TRACE
 from repro.net.packet import (
@@ -112,6 +114,10 @@ class FsoiConfig:
     #: design constrains starts to slot boundaries (slotted ALOHA, ref
     #: [40]), roughly halving the vulnerable window.
     slotted: bool = True
+    #: Optional fault schedule (repro.faults).  ``None`` or an empty
+    #: plan is guaranteed passive: no injector is built, no fault
+    #: counters exist, and no extra randomness is drawn.
+    faults: FaultPlan | None = None
     seed: int = 0
 
     @property
@@ -154,6 +160,25 @@ class FsoiNetwork(Interconnect):
         self._backoff_rng = rng.stream("fsoi.backoff")
         self._error_rng = rng.stream("fsoi.errors")
         self._hint_rng = rng.stream("fsoi.hints")
+
+        plan = config.faults
+        if plan is not None and not plan.is_empty():
+            if not config.slotted:
+                raise ValueError(
+                    "fault injection requires the slotted network "
+                    "(the pure-ALOHA ablation has no fault hooks)"
+                )
+            self._injector = FaultInjector(
+                plan,
+                config.num_nodes,
+                {
+                    lane: config.lanes.receivers(lane)
+                    for lane in (LaneKind.META, LaneKind.DATA)
+                },
+                rng.child("faults"),
+            )
+        else:
+            self._injector = None
 
         self._state: dict[LaneKind, list[_LaneState]] = {
             lane: [
@@ -204,6 +229,28 @@ class FsoiNetwork(Interconnect):
             lane: stats.group(lane.value).latency("resolution_among_collided")
             for lane in (LaneKind.META, LaneKind.DATA)
         }
+        # Fault counters exist only when injection is active, keeping the
+        # fault-free stat tree (and its golden snapshots) byte-identical.
+        self._fault_stats = None
+        self._fault_lane_stats = None
+        if self._injector is not None:
+            fault_group = stats.group("fault")
+            self._fault_lane_stats = {}
+            for lane in (LaneKind.META, LaneKind.DATA):
+                group = fault_group.group(lane.value)
+                self._fault_lane_stats[lane] = {
+                    "fault_lost": group.counter("fault_lost_tx"),
+                    "injected_corrupt": group.counter("injected_corrupt_tx"),
+                    "duplicate_rx": group.counter("duplicate_rx"),
+                    "suppressed": group.counter("suppressed_attempts"),
+                }
+            self._fault_stats = {
+                "confirm_dropped": fault_group.counter("confirmations_dropped"),
+                "gave_up_lost": fault_group.counter("gave_up_lost"),
+                "gave_up_delivered": fault_group.counter("gave_up_delivered"),
+                "receiver_remaps": fault_group.counter("receiver_remaps"),
+                "lane_down_events": fault_group.counter("lane_down_detected"),
+            }
 
     # ------------------------------------------------------------------
     # Interconnect interface
@@ -267,19 +314,36 @@ class FsoiNetwork(Interconnect):
         lane_stats = self._lane_stats[lane]
         lane_stats["slots"].add()
         slot_len = self.lanes.slot_cycles(lane)
+        inj = self._injector
 
         # Gather this slot's transmissions: one per node, retransmissions
         # take priority over fresh queue heads (they are older traffic).
         sends: list[tuple[Packet, int]] = []
         for node in range(self.num_nodes):
             state = self._state[lane][node]
+            if inj is not None and inj.lane_suppressed(node, lane, cycle):
+                # Lane sparing: the sender has detected its dead lane and
+                # stops lighting it — queued traffic fast-fails straight
+                # into back-off (escalating towards give-up) without
+                # occupying the medium or counting as a transmission.
+                packet = self._pick_transmission(state, cycle)
+                if packet is not None:
+                    self._fault_lane_stats[lane]["suppressed"].add()
+                    packet.retries += 1
+                    if TRACE.enabled:
+                        TRACE.emit(
+                            "fault_suppressed", cat="fault", cycle=cycle,
+                            node=node, lane=lane.value, packet=packet.uid,
+                            retries=packet.retries,
+                        )
+                    self._back_off(lane, packet, cycle)
+                continue
             packet = self._pick_transmission(state, cycle)
             if packet is None:
                 continue
             if packet.first_tx_cycle < 0:
                 packet.first_tx_cycle = cycle
             setup = state.opa.steer(packet.dst) if state.opa is not None else 0
-            sends.append((packet, setup))
             lane_stats["tx"].add()
             self.stats.bits_sent.add(packet.bits)
             if TRACE.enabled:
@@ -288,16 +352,54 @@ class FsoiNetwork(Interconnect):
                     lane=lane.value, packet=packet.uid, dur=slot_len,
                     dst=packet.dst, retries=packet.retries,
                 )
+            if inj is not None and inj.tx_lane_dead(node, lane, cycle):
+                # Dark transmission: the VCSEL array emits nothing, so no
+                # receiver sees the packet and no confirmation comes back;
+                # the sender reacts exactly as to a collision.
+                if inj.note_dark_send(node, lane):
+                    self._fault_stats["lane_down_events"].add()
+                    if TRACE.enabled:
+                        TRACE.emit(
+                            "fault_lane_down", cat="fault", cycle=cycle,
+                            node=node, lane=lane.value,
+                        )
+                self._fault_lost(lane, cycle, slot_len, packet, setup)
+                continue
+            if inj is not None:
+                inj.note_successful_send(node, lane)
+            sends.append((packet, setup))
 
         if not sends:
             return
 
-        # Group by (destination, receiver) — the static sender partition.
+        # Group by (destination, receiver) — the static sender partition,
+        # remapped around dead receivers when faults are active.
         groups: dict[tuple[int, int], list[tuple[Packet, int]]] = {}
         for packet, setup in sends:
-            receiver = self.lanes.receiver_for(
-                lane, packet.src, packet.dst, self.num_nodes
+            health = (
+                inj.receiver_health(packet.dst, lane, cycle)
+                if inj is not None
+                else None
             )
+            receiver = self.lanes.receiver_for(
+                lane, packet.src, packet.dst, self.num_nodes, healthy=health
+            )
+            if health is not None:
+                if receiver < 0:
+                    # Every receiver at the destination is dark.
+                    self._fault_lost(lane, cycle, slot_len, packet, setup)
+                    continue
+                nominal = self.lanes.receiver_for(
+                    lane, packet.src, packet.dst, self.num_nodes
+                )
+                if receiver != nominal:
+                    self._fault_stats["receiver_remaps"].add()
+                    if TRACE.enabled:
+                        TRACE.emit(
+                            "fault_receiver_remap", cat="fault", cycle=cycle,
+                            node=packet.dst, lane=lane.value,
+                            packet=packet.uid, receiver=receiver,
+                        )
             groups.setdefault((packet.dst, receiver), []).append((packet, setup))
 
         for (dst, _receiver), members in groups.items():
@@ -432,6 +534,29 @@ class FsoiNetwork(Interconnect):
     # Outcomes
     # ------------------------------------------------------------------
 
+    def _fault_lost(
+        self, lane: LaneKind, cycle: int, slot_len: int, packet: Packet, setup: int
+    ) -> None:
+        """An injected fault swallowed the transmission outright.
+
+        The light never reached a working receiver (dead transmit array
+        or all destination receivers dark), so the sender times out and
+        backs off exactly as for a collision.
+        """
+        self._fault_lane_stats[lane]["fault_lost"].add()
+        packet.retries += 1
+        if TRACE.enabled:
+            TRACE.emit(
+                "fault_lost_tx", cat="fault", cycle=cycle, node=packet.src,
+                lane=lane.value, packet=packet.uid, dst=packet.dst,
+                retries=packet.retries,
+            )
+        receive_cycle = cycle + slot_len - 1 + setup
+        detect = receive_cycle + self.confirmations.delay + 1
+        self._schedule(
+            detect, lambda p=packet, d=detect: self._back_off(lane, p, d)
+        )
+
     def _handle_solo(
         self, lane: LaneKind, cycle: int, slot_len: int, member: tuple[Packet, int]
     ) -> None:
@@ -453,22 +578,90 @@ class FsoiNetwork(Interconnect):
             detect = receive_cycle + self.confirmations.delay + 1
             self._schedule(detect, lambda: self._back_off(lane, packet, detect))
             return
+        inj = self._injector
+        if inj is not None:
+            probability = inj.corruption_probability(
+                packet.src, lane, cycle, packet.bits
+            )
+            if inj.draw_corruption(probability):
+                # Droop / burst corruption fails the PID integrity check
+                # at the receiver — indistinguishable from a collision.
+                self._fault_lane_stats[lane]["injected_corrupt"].add()
+                if TRACE.enabled:
+                    TRACE.emit(
+                        "fault_corrupt", cat="fault", cycle=cycle,
+                        node=packet.dst, lane=lane.value, packet=packet.uid,
+                        probability=probability,
+                    )
+                packet.retries += 1
+                receive_cycle = cycle + slot_len - 1 + setup
+                detect = receive_cycle + self.confirmations.delay + 1
+                self._schedule(
+                    detect, lambda: self._back_off(lane, packet, detect)
+                )
+                return
         self._succeed(lane, cycle, slot_len, packet, setup)
 
     def _succeed(
         self, lane: LaneKind, cycle: int, slot_len: int, packet: Packet, setup: int
     ) -> None:
-        packet.final_tx_cycle = cycle
-        if packet.retries > 0:
-            self._resolution_collided[lane].record(
-                packet.final_tx_cycle - packet.first_tx_cycle
-            )
+        inj = self._injector
         receive_cycle = cycle + slot_len - 1 + setup
-        deliver_cycle = receive_cycle + self.config.rx_overhead
-        self._schedule(deliver_cycle, lambda: self._deliver(packet, deliver_cycle))
+        # Under confirmation drops a sender may retransmit a packet the
+        # destination already delivered; such duplicate receptions are
+        # recognized (sequence numbers in the header) and not re-delivered.
+        already_delivered = inj is not None and getattr(
+            packet, "_fault_delivered", False
+        )
+        if already_delivered:
+            self._fault_lane_stats[lane]["duplicate_rx"].add()
+            if TRACE.enabled:
+                TRACE.emit(
+                    "fault_duplicate_rx", cat="fault", cycle=cycle,
+                    node=packet.dst, lane=lane.value, packet=packet.uid,
+                )
+        else:
+            packet.final_tx_cycle = cycle
+            if packet.retries > 0:
+                self._resolution_collided[lane].record(
+                    packet.final_tx_cycle - packet.first_tx_cycle
+                )
+            deliver_cycle = receive_cycle + self.config.rx_overhead
+            self._schedule(
+                deliver_cycle, lambda: self._deliver(packet, deliver_cycle)
+            )
+            if inj is not None:
+                packet._fault_delivered = True
+            if lane is LaneKind.DATA and self._expected[packet.dst].is_expected(
+                packet.src
+            ):
+                self._expected[packet.dst].fulfil(packet.src)
+        if inj is not None and inj.drop_confirmation(
+            packet.src, receive_cycle + self.confirmations.delay
+        ):
+            # The packet got through, but the confirmation pulse is lost:
+            # the sender walks the timeout path as if it had collided.
+            self.confirmations.record_dropped(receive_cycle)
+            self._fault_stats["confirm_dropped"].add()
+            packet.retries += 1
+            detect = receive_cycle + self.confirmations.delay + 1
+            self._schedule(
+                detect, lambda p=packet, d=detect: self._back_off(lane, p, d)
+            )
+            return
         # The confirmation arrives back at the sender two cycles after
         # reception; §5.1 consumers hook it via packet.on_confirmed.
-        callback = packet.on_confirmed if packet.on_confirmed is not None else _noop
+        # Under faults the hook fires exactly once even if drops forced
+        # duplicate confirmed receptions.
+        if packet.on_confirmed is None:
+            callback = _noop
+        elif inj is None:
+            callback = packet.on_confirmed
+        else:
+            def callback(p: Packet = packet) -> None:
+                if not getattr(p, "_fault_confirm_fired", False):
+                    p._fault_confirm_fired = True
+                    p.on_confirmed()
         self.confirmations.send_confirmation(receive_cycle, callback)
         if TRACE.enabled:
             TRACE.emit(
@@ -476,8 +669,6 @@ class FsoiNetwork(Interconnect):
                 cycle=receive_cycle + self.confirmations.delay,
                 node=packet.src, lane=lane.value, packet=packet.uid,
             )
-        if lane is LaneKind.DATA and self._expected[packet.dst].is_expected(packet.src):
-            self._expected[packet.dst].fulfil(packet.src)
 
     def _handle_collision(
         self,
@@ -539,6 +730,14 @@ class FsoiNetwork(Interconnect):
 
     def _back_off(self, lane: LaneKind, packet: Packet, base_cycle: int) -> None:
         """Queue ``packet`` for retransmission after a random back-off."""
+        inj = self._injector
+        if (
+            inj is not None
+            and inj.plan.giveup_retries is not None
+            and packet.retries > inj.plan.giveup_retries
+        ):
+            self._give_up(lane, packet, base_cycle)
+            return
         slot_len = self.lanes.slot_cycles(lane)
         draw = self.config.backoff.draw_delay_slots(self._backoff_rng, packet.retries)
         if self.config.slotted:
@@ -554,6 +753,25 @@ class FsoiNetwork(Interconnect):
                 "backoff", cat="fsoi", cycle=base_cycle, node=packet.src,
                 lane=lane.value, packet=packet.uid,
                 retries=packet.retries, release=release,
+            )
+
+    def _give_up(self, lane: LaneKind, packet: Packet, cycle: int) -> None:
+        """Bounded graceful degradation: the sender abandons the packet.
+
+        Packets whose delivery already happened (only the confirmation
+        was lost) are counted separately — nothing was actually lost.
+        """
+        if getattr(packet, "_fault_delivered", False):
+            self._fault_stats["gave_up_delivered"].add()
+            outcome = "delivered"
+        else:
+            self._fault_stats["gave_up_lost"].add()
+            outcome = "lost"
+        if TRACE.enabled:
+            TRACE.emit(
+                "fault_give_up", cat="fault", cycle=cycle, node=packet.src,
+                lane=lane.value, packet=packet.uid, retries=packet.retries,
+                outcome=outcome,
             )
 
     # ------------------------------------------------------------------
@@ -694,6 +912,23 @@ class FsoiNetwork(Interconnect):
 
     def hint_summary(self) -> dict[str, int]:
         return {k: int(v) for k, v in self._hint_stats.items()}
+
+    @property
+    def fault_injector(self) -> FaultInjector | None:
+        """The active injector, or None for fault-free runs."""
+        return self._injector
+
+    def fault_summary(self) -> dict:
+        """Fault/degradation counters (empty dict when faults are off)."""
+        if self._injector is None:
+            return {}
+        out: dict = {k: int(v) for k, v in self._fault_stats.items()}
+        for lane in (LaneKind.META, LaneKind.DATA):
+            out[lane.value] = {
+                k: int(v) for k, v in self._fault_lane_stats[lane].items()
+            }
+        out["confirmations_dropped"] = self.confirmations.confirmations_dropped
+        return out
 
     def phase_array_summary(self) -> dict[str, float]:
         """Aggregate OPA steering behaviour (empty for dedicated arrays)."""

@@ -1,0 +1,33 @@
+"""Fault injection and graceful degradation (docs/faults.md).
+
+``repro.faults`` turns the simulator's happy path into a testable
+resilience story: a :class:`FaultPlan` declares *what breaks and when*
+(dead VCSEL lanes, dark receivers, thermal droop, bit-error bursts,
+confirmation drops), and the :class:`FaultInjector` executes it inside
+:class:`repro.core.network.FsoiNetwork` with deterministic, isolated
+randomness.  An empty plan is guaranteed passive — no injector, no
+extra counters, no RNG draws — so fault-free runs are byte-identical
+to a build without this package.
+"""
+
+from repro.faults.plan import (
+    LANE_NAMES,
+    ConfirmationDrop,
+    ErrorBurst,
+    FaultPlan,
+    LaneFault,
+    ReceiverFault,
+    ThermalDroop,
+)
+from repro.faults.injector import FaultInjector
+
+__all__ = [
+    "LANE_NAMES",
+    "ConfirmationDrop",
+    "ErrorBurst",
+    "FaultInjector",
+    "FaultPlan",
+    "LaneFault",
+    "ReceiverFault",
+    "ThermalDroop",
+]

@@ -27,6 +27,7 @@ from typing import Any, Iterable, Mapping, Sequence, Union
 from repro.cmp.system import NETWORK_KINDS, CmpConfig
 from repro.core.lanes import LaneConfig
 from repro.core.optimizations import OptimizationConfig
+from repro.faults.plan import FaultPlan
 from repro.workloads import APPLICATIONS
 
 __all__ = [
@@ -47,6 +48,7 @@ OPTIMIZATION_FLAGS = tuple(
 #: be rebuilt from their JSON dict form inside a worker process.
 _EXTRA_DECODERS = {
     "fsoi_lanes": lambda data: LaneConfig(**data),
+    "faults": FaultPlan.from_dict,
 }
 
 
@@ -227,6 +229,8 @@ class SweepPoint:
             parts.append("+opt")
         if self.variant:
             parts.append(self.variant)
+        if any(key == "faults" for key, _encoded in self.extras):
+            parts.append("+flt")
         return "/".join(parts)
 
 
@@ -262,11 +266,16 @@ class SweepSpec:
     """A cartesian grid of experiments.
 
     Expansion order is deterministic: the product of
-    ``apps x networks x nodes x seeds x optimizations x variants`` with
-    the last axis varying fastest.  Optimization sets apply only to the
-    ``fsoi`` network (they rely on its confirmation channel — see
+    ``apps x networks x nodes x seeds x optimizations x variants x
+    faults`` with the last axis varying fastest.  Optimization sets and
+    non-empty fault plans apply only to the ``fsoi`` network (they rely
+    on its confirmation channel / optical substrate — see
     :class:`repro.cmp.CmpConfig`); every other network gets exactly one
     baseline point per (app, nodes, seed, variant) combination.
+
+    A non-empty :class:`repro.faults.FaultPlan` travels inside the
+    point's ``extras`` in canonical-JSON form, so the on-disk cache key
+    automatically covers the full fault schedule (docs/faults.md).
     """
 
     apps: tuple[str, ...]
@@ -276,12 +285,18 @@ class SweepSpec:
     cycles: int = 8000
     optimizations: tuple[Union[str, OptimizationConfig], ...] = ("none",)
     variants: tuple[Variant, ...] = (Variant(),)
+    faults: tuple[FaultPlan, ...] = (FaultPlan(),)
 
     def __post_init__(self) -> None:
         if not self.apps or not self.networks:
             raise ValueError("a sweep needs at least one app and one network")
         if not self.nodes or not self.seeds or not self.optimizations:
             raise ValueError("every sweep axis needs at least one value")
+        if not self.faults:
+            raise ValueError("the faults axis needs at least one plan")
+        for plan in self.faults:
+            if not isinstance(plan, FaultPlan):
+                raise ValueError(f"not a FaultPlan: {plan!r}")
         # Validate eagerly so a bad spec fails before any work is queued.
         for entry in self.optimizations:
             _normalize_optimizations(entry)
@@ -308,9 +323,21 @@ class SweepSpec:
                     _normalize_optimizations(entry)
                     for entry in self.optimizations
                 ]
+                fault_plans = list(self.faults)
             else:
                 opt_sets = [()]
-            for flags, variant in itertools.product(opt_sets, self.variants):
+                fault_plans = [FaultPlan()]
+            for flags, variant, plan in itertools.product(
+                opt_sets, self.variants, fault_plans
+            ):
+                extras = variant.config
+                if not plan.is_empty():
+                    # Keep extras sorted by key so the point (and its
+                    # cache key) round-trips through to_dict/from_dict.
+                    extras = tuple(sorted(
+                        extras
+                        + (("faults", canonical_json(plan.to_dict())),)
+                    ))
                 point = SweepPoint(
                     app=app,
                     network=network,
@@ -319,7 +346,7 @@ class SweepSpec:
                     seed=seed,
                     optimizations=flags,
                     variant=variant.label,
-                    extras=variant.config,
+                    extras=extras,
                 )
                 if point not in seen:
                     seen.add(point)
@@ -346,6 +373,7 @@ class SweepSpec:
                 {"label": v.label, "config": v.config_dict()}
                 for v in self.variants
             ],
+            "faults": [plan.to_dict() for plan in self.faults],
         }
 
     @classmethod
@@ -357,6 +385,9 @@ class SweepSpec:
             )
             for entry in data.get("variants", [{}])
         ) or (Variant(),)
+        faults = tuple(
+            FaultPlan.from_dict(entry) for entry in data.get("faults", [{}])
+        ) or (FaultPlan(),)
         return cls(
             apps=tuple(data["apps"]),
             networks=tuple(data["networks"]),
@@ -365,4 +396,5 @@ class SweepSpec:
             cycles=int(data.get("cycles", 8000)),
             optimizations=tuple(data.get("optimizations", ("none",))),
             variants=variants,
+            faults=faults,
         )

@@ -65,3 +65,44 @@ def test_expected_delay_is_mean_of_uniform_draw(start, base, retry):
 def test_degenerate_base_gives_fixed_window(start, retry):
     policy = BackoffPolicy(start_window=start, base=1.0)
     assert policy.window(retry) == policy.window(1)
+
+
+@given(start=windows, base=bases, retry=retries)
+@settings(max_examples=100, deadline=None)
+def test_span_is_ceiling_of_window(start, base, retry):
+    policy = BackoffPolicy(start_window=start, base=base)
+    assert policy.span(retry) == max(1, math.ceil(policy.window(retry)))
+    assert isinstance(policy.span(retry), int)
+    assert policy.span(retry) >= 1
+
+
+@given(start=windows, base=bases, retry=retries,
+       seed=st.integers(min_value=0, max_value=2**32 - 1))
+@settings(max_examples=100, deadline=None)
+def test_drawn_delay_lands_inside_the_span(start, base, retry, seed):
+    policy = BackoffPolicy(start_window=start, base=base)
+    delay = policy.draw_delay_slots(np.random.default_rng(seed), retry)
+    assert 1 <= delay <= policy.span(retry)
+
+
+@given(start=windows, base=bases, retry=st.integers(min_value=1, max_value=12),
+       seed=st.integers(min_value=0, max_value=2**16 - 1))
+@settings(max_examples=25, deadline=None)
+def test_empirical_mean_converges_to_expected_delay(start, base, retry, seed):
+    """Under a fixed seed, the mean of many draws must converge to
+    ``expected_delay_slots`` — the quantity the Figure 4 analytical
+    model and the give-up accounting both lean on.
+
+    A uniform draw over {1..span} has variance < span^2/12, so with
+    20_000 draws the standard error is below span/165; a 5-sigma band
+    (~3% of span) makes the test deterministic-in-practice per seed.
+    """
+    policy = BackoffPolicy(start_window=start, base=base)
+    rng = np.random.default_rng(seed)
+    draws = 20_000
+    mean = (
+        sum(policy.draw_delay_slots(rng, retry) for _ in range(draws)) / draws
+    )
+    span = policy.span(retry)
+    tolerance = 5.0 * span / math.sqrt(12.0 * draws)
+    assert abs(mean - policy.expected_delay_slots(retry)) <= tolerance + 1e-9

@@ -62,9 +62,17 @@ def lane_counters(net: FsoiNetwork, lane: LaneKind) -> dict[str, int]:
 def assert_transmission_ledger(net: FsoiNetwork) -> None:
     for lane in (LaneKind.META, LaneKind.DATA):
         c = lane_counters(net, lane)
-        assert c["tx"] == c["delivered"] + c["collided_tx"] + c["error_tx"], (
-            f"{lane.value} ledger broken: {c}"
-        )
+        explained = c["delivered"] + c["collided_tx"] + c["error_tx"]
+        if net._injector is not None:
+            # Fault injection adds three more transmission fates: lost
+            # in a dark lane/dead receiver, corrupted by the injector,
+            # or received as a duplicate after a dropped confirmation.
+            f = {key: counter.value
+                 for key, counter in net._fault_lane_stats[lane].items()}
+            explained += (
+                f["fault_lost"] + f["injected_corrupt"] + f["duplicate_rx"]
+            )
+        assert c["tx"] == explained, f"{lane.value} ledger broken: {c}"
         # Deliveries can't exceed what the CMP layer handed over.
         assert c["delivered"] <= c["tx"]
 
@@ -139,3 +147,38 @@ def test_transmissions_conserved_unslotted(seed):
     ))
     drive(net, seed)
     assert_transmission_ledger(net)
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_no_silent_loss_under_faults(seed):
+    """Graceful degradation's conservation law: kill one VCSEL lane and
+    drop 5% of confirmations, and every packet handed to the network is
+    still either delivered or *explicitly* given up — nothing vanishes
+    into the fault paths silently.
+    """
+    from repro.faults import ConfirmationDrop, FaultPlan, LaneFault
+
+    plan = FaultPlan(
+        label="conservation",
+        lane_faults=(LaneFault(3, "data"),),       # permanent VCSEL death
+        confirmation_drops=(ConfirmationDrop(0.05),),
+        giveup_retries=12,
+        seed=seed,
+    )
+    net = FsoiNetwork(FsoiConfig(num_nodes=NUM_NODES, faults=plan, seed=seed))
+    drive(net, seed, packets=400, inject_window=300)
+    assert_transmission_ledger(net)
+
+    summary = net.fault_summary()
+    sent = int(net.stats.sent)
+    delivered = int(net.stats.delivered)
+    gave_up = summary["gave_up_lost"] + summary["gave_up_delivered"]
+    assert sent == delivered + summary["gave_up_lost"], (
+        f"silent loss: sent {sent}, delivered {delivered}, "
+        f"gave up {gave_up}, summary {summary}"
+    )
+    # The plan must actually have bitten: node 3's dead data lane forces
+    # give-ups, and the confirmation channel lost pulses.
+    assert summary["gave_up_lost"] > 0
+    assert summary["confirm_dropped"] > 0
+    assert summary["lane_down_events"] == 1

@@ -1,0 +1,92 @@
+"""Golden snapshot of a fault-injected 16-node run.
+
+The resilience counterpart of ``tests/cmp/test_golden.py``: one fixed
+16-node FSOI run under a mixed fault plan (a data-lane brown-out, a
+chip-wide thermal droop, a meta error burst, sustained confirmation
+drops) is frozen field-for-field under ``tests/data/``.  Any change to
+the injector's sampling, the sparing/remap logic or the degradation
+accounting moves these numbers and fails loudly.
+
+Regenerate after an intentional change with::
+
+    PYTHONPATH=src python -m pytest tests/faults/test_golden_resilience.py \
+        --update-golden
+"""
+
+import json
+from pathlib import Path
+
+from repro.cmp import CmpConfig, CmpSystem
+from repro.faults import (
+    ConfirmationDrop,
+    ErrorBurst,
+    FaultPlan,
+    LaneFault,
+    ThermalDroop,
+)
+from repro.sweep import canonical_json
+
+from tests.cmp.test_golden import _diff
+
+DATA_DIR = Path(__file__).parents[1] / "data"
+GOLDEN_PATH = DATA_DIR / "golden_resilience_fsoi_16.json"
+
+APP = "oc"
+NUM_NODES = 16
+CYCLES = 2500
+SEED = 0
+
+#: The frozen plan.  No give-up bound: coherence traffic must never be
+#: abandoned under a CMP workload, only delayed.
+PLAN = FaultPlan(
+    label="golden-resilience",
+    lane_faults=(LaneFault(5, "data", start=400, end=1400),),
+    droops=(ThermalDroop(3.0, start=600, end=2000),),
+    bursts=(ErrorBurst(0.02, lane="meta", start=800, end=1600),),
+    confirmation_drops=(ConfirmationDrop(0.05),),
+    seed=7,
+)
+
+
+def compute() -> dict:
+    config = CmpConfig(
+        num_nodes=NUM_NODES, app=APP, network="fsoi", seed=SEED, faults=PLAN
+    )
+    result = CmpSystem(config).run(CYCLES).to_dict()
+    return json.loads(canonical_json(result))
+
+
+def test_golden_resilience_snapshot(request):
+    actual = compute()
+    if request.config.getoption("--update-golden"):
+        GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+        GOLDEN_PATH.write_text(
+            json.dumps(actual, indent=1, sort_keys=True) + "\n"
+        )
+        return
+    assert GOLDEN_PATH.exists(), (
+        f"missing golden snapshot {GOLDEN_PATH}; generate it with "
+        "`pytest tests/faults/test_golden_resilience.py --update-golden`"
+    )
+    expected = json.loads(GOLDEN_PATH.read_text())
+    differences = _diff(expected, actual)
+    assert not differences, (
+        f"fault-injected run diverged from {GOLDEN_PATH.name} in "
+        f"{len(differences)} field(s):\n  "
+        + "\n  ".join(differences[:20])
+        + "\nIf the change is intentional, regenerate with "
+        "`pytest tests/faults/test_golden_resilience.py --update-golden` "
+        "and commit."
+    )
+
+
+def test_golden_plan_exercises_every_fault_path():
+    """Guard the snapshot's value: the frozen plan must actually fire
+    each degradation mechanism it claims to cover."""
+    summary = compute()["fsoi"]["faults"]
+    assert summary["lane_down_events"] >= 1
+    assert summary["data"]["suppressed"] > 0
+    assert (summary["meta"]["injected_corrupt"]
+            + summary["data"]["injected_corrupt"]) > 0
+    assert summary["confirm_dropped"] > 0
+    assert summary["gave_up_lost"] == 0  # no give-up bound in the plan

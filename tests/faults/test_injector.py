@@ -1,0 +1,173 @@
+"""FaultInjector unit behaviour: windows, detection, sparing, physics."""
+
+import pytest
+
+from repro.faults import (
+    ConfirmationDrop,
+    ErrorBurst,
+    FaultInjector,
+    FaultPlan,
+    LaneFault,
+    ReceiverFault,
+    ThermalDroop,
+)
+from repro.net.packet import LaneKind
+from repro.util.rng import RngHub
+
+RECEIVERS = {LaneKind.META: 2, LaneKind.DATA: 2}
+
+
+def make(plan: FaultPlan, num_nodes: int = 16) -> FaultInjector:
+    return FaultInjector(plan, num_nodes, RECEIVERS, RngHub(0).child("faults"))
+
+
+class TestConstruction:
+    def test_empty_plan_refused(self):
+        with pytest.raises(ValueError, match="empty plan"):
+            make(FaultPlan())
+
+    def test_plan_validated_against_topology(self):
+        plan = FaultPlan(lane_faults=(LaneFault(20, "meta"),))
+        with pytest.raises(ValueError, match="node 20"):
+            make(plan, num_nodes=16)
+
+
+class TestActivityWindows:
+    def test_window_half_open(self):
+        inj = make(FaultPlan(lane_faults=(LaneFault(3, "data", 100, 200),)))
+        assert not inj.tx_lane_dead(3, LaneKind.DATA, 99)
+        assert inj.tx_lane_dead(3, LaneKind.DATA, 100)
+        assert inj.tx_lane_dead(3, LaneKind.DATA, 199)
+        assert not inj.tx_lane_dead(3, LaneKind.DATA, 200)
+
+    def test_permanent_fault_never_ends(self):
+        inj = make(FaultPlan(lane_faults=(LaneFault(3, "data"),)))
+        assert inj.tx_lane_dead(3, LaneKind.DATA, 10**9)
+
+    def test_other_node_and_lane_unaffected(self):
+        inj = make(FaultPlan(lane_faults=(LaneFault(3, "data"),)))
+        assert not inj.tx_lane_dead(3, LaneKind.META, 0)
+        assert not inj.tx_lane_dead(4, LaneKind.DATA, 0)
+
+
+class TestLaneDownDetection:
+    def test_threshold_crossing_reported_once(self):
+        inj = make(FaultPlan(lane_faults=(LaneFault(1, "meta"),),
+                             detect_threshold=3))
+        assert not inj.note_dark_send(1, LaneKind.META)
+        assert not inj.note_dark_send(1, LaneKind.META)
+        assert inj.note_dark_send(1, LaneKind.META)   # third strike
+        assert not inj.note_dark_send(1, LaneKind.META)  # only once
+        assert inj.lane_suppressed(1, LaneKind.META, 0)
+
+    def test_successful_send_breaks_streak(self):
+        inj = make(FaultPlan(lane_faults=(LaneFault(1, "meta"),),
+                             detect_threshold=2))
+        inj.note_dark_send(1, LaneKind.META)
+        inj.note_successful_send(1, LaneKind.META)
+        assert not inj.note_dark_send(1, LaneKind.META)  # streak restarted
+        assert inj.note_dark_send(1, LaneKind.META)
+
+    def test_suppression_clears_when_schedule_heals(self):
+        inj = make(FaultPlan(lane_faults=(LaneFault(1, "meta", 0, 100),),
+                             detect_threshold=1))
+        assert inj.note_dark_send(1, LaneKind.META)
+        assert inj.lane_suppressed(1, LaneKind.META, 50)
+        # Past the window the lane works again: the probe clears state.
+        assert not inj.lane_suppressed(1, LaneKind.META, 100)
+        assert not inj.lane_suppressed(1, LaneKind.META, 50)  # stays clear
+
+
+class TestReceiverHealth:
+    def test_none_when_no_faults_apply(self):
+        inj = make(FaultPlan(receiver_faults=(ReceiverFault(4, "data", 0,
+                                                            100, 200),)))
+        assert inj.receiver_health(4, LaneKind.DATA, 50) is None
+        assert inj.receiver_health(5, LaneKind.DATA, 150) is None
+        assert inj.receiver_health(4, LaneKind.META, 150) is None
+
+    def test_health_vector_marks_dead_receiver(self):
+        inj = make(FaultPlan(receiver_faults=(ReceiverFault(4, "data", 0),)))
+        assert inj.receiver_health(4, LaneKind.DATA, 0) == (False, True)
+
+    def test_all_dead(self):
+        inj = make(FaultPlan(receiver_faults=(
+            ReceiverFault(4, "data", 0), ReceiverFault(4, "data", 1))))
+        assert inj.receiver_health(4, LaneKind.DATA, 0) == (False, False)
+
+
+class TestDroopPhysics:
+    def test_droop_ber_monotone_in_droop(self):
+        inj = make(FaultPlan(droops=(ThermalDroop(1.0),)))
+        bers = [inj.droop_ber(db) for db in (0.5, 1.5, 3.0, 5.0)]
+        assert bers == sorted(bers)
+        assert all(0.0 <= b < 0.5 for b in bers)
+
+    def test_droop_ber_comes_from_link_chain(self):
+        """The injector's number must equal a by-hand walk of the
+        OpticalLink chain — proving it is physics, not a lookup table."""
+        from repro.core.link import OpticalLink
+        from repro.util.units import db_to_linear
+
+        inj = make(FaultPlan(droops=(ThermalDroop(3.0),)))
+        link = OpticalLink()
+        scale = 1.0 / db_to_linear(3.0)
+        p1, p0 = link.received_powers()
+        expected = link.noise.ber(
+            link.detector.photocurrent(p1 * scale),
+            link.detector.photocurrent(p0 * scale),
+        )
+        assert inj.droop_ber(3.0) == pytest.approx(expected, rel=1e-12)
+
+    def test_corruption_probability_scales_with_bits(self):
+        inj = make(FaultPlan(droops=(ThermalDroop(3.0),)))
+        short = inj.corruption_probability(0, LaneKind.META, 0, 64)
+        long = inj.corruption_probability(0, LaneKind.DATA, 0, 512)
+        assert 0.0 < short < long < 1.0
+
+    def test_windows_and_scopes_respected(self):
+        inj = make(FaultPlan(
+            droops=(ThermalDroop(3.0, node=2, start=100, end=200),),
+            bursts=(ErrorBurst(0.25, lane="meta", start=100, end=200),),
+        ))
+        # Outside the window: nothing.
+        assert inj.corruption_probability(2, LaneKind.META, 99, 64) == 0.0
+        # Wrong node for the droop, but the burst is node-global.
+        p_meta = inj.corruption_probability(3, LaneKind.META, 150, 64)
+        assert p_meta == pytest.approx(0.25)
+        # The burst is meta-only; node 3's data lane sees nothing.
+        assert inj.corruption_probability(3, LaneKind.DATA, 150, 512) == 0.0
+        # Droop and burst compose as independent survival probabilities.
+        combined = inj.corruption_probability(2, LaneKind.META, 150, 64)
+        ber = inj.droop_ber(3.0)
+        expected = 1.0 - (1.0 - 0.25) * (1.0 - ber) ** 64
+        assert combined == pytest.approx(expected, rel=1e-12)
+
+
+class TestRandomDraws:
+    def test_zero_probability_consumes_no_randomness(self):
+        """The short-circuit is the passivity guarantee for windows in
+        which no fault is active: the stream must not advance."""
+        inj = make(FaultPlan(bursts=(ErrorBurst(0.5, start=100, end=200),),
+                             confirmation_drops=(ConfirmationDrop(0.0),)))
+        before_c = inj._corrupt_rng.bit_generator.state["state"]["state"]
+        before_f = inj._confirm_rng.bit_generator.state["state"]["state"]
+        assert not inj.draw_corruption(0.0)
+        assert not inj.drop_confirmation(0, 50)   # outside window -> p=0
+        assert not inj.drop_confirmation(0, 150)  # rate 0 -> p=0
+        assert inj._corrupt_rng.bit_generator.state["state"]["state"] == before_c
+        assert inj._confirm_rng.bit_generator.state["state"]["state"] == before_f
+
+    def test_plan_seed_offsets_streams(self):
+        plan_a = FaultPlan(confirmation_drops=(ConfirmationDrop(0.5),), seed=1)
+        plan_b = FaultPlan(confirmation_drops=(ConfirmationDrop(0.5),), seed=2)
+        draws_a = [make(plan_a).drop_confirmation(0, c) for c in range(64)]
+        # Same seed, fresh injector: identical decisions.
+        assert draws_a == [make(plan_a).drop_confirmation(0, c)
+                           for c in range(64)]
+        assert draws_a != [make(plan_b).drop_confirmation(0, c)
+                           for c in range(64)]
+
+    def test_certain_drop_always_drops(self):
+        inj = make(FaultPlan(confirmation_drops=(ConfirmationDrop(1.0),)))
+        assert all(inj.drop_confirmation(n, 0) for n in range(16))

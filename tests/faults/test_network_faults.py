@@ -1,0 +1,193 @@
+"""FsoiNetwork under injected faults: degradation must stay graceful.
+
+Every scenario drives the raw network (no CMP on top) so the assertions
+can reach the per-lane fault counters directly.  The common contract:
+nothing wedges, every packet is either delivered or explicitly given
+up, and the fault counters explain exactly what happened.
+"""
+
+import pytest
+
+from repro.core.network import FsoiConfig, FsoiNetwork
+from repro.faults import (
+    ConfirmationDrop,
+    ErrorBurst,
+    FaultPlan,
+    LaneFault,
+    ReceiverFault,
+)
+from repro.net.packet import LaneKind, Packet
+
+
+def drain(net, start, limit=60_000):
+    cycle = start
+    while not net.quiescent() and cycle < start + limit:
+        net.tick(cycle)
+        cycle += 1
+    return cycle
+
+
+def run_with(plan, packets, num_nodes=16, seed=3):
+    net = FsoiNetwork(FsoiConfig(num_nodes=num_nodes, faults=plan, seed=seed))
+    for packet in packets:
+        assert net.try_send(packet, 0)
+    net.tick(0)
+    drain(net, 1)
+    return net
+
+
+class TestConfiguration:
+    def test_faults_require_slotted_mode(self):
+        plan = FaultPlan(lane_faults=(LaneFault(0, "meta"),))
+        with pytest.raises(ValueError, match="slotted"):
+            FsoiNetwork(FsoiConfig(num_nodes=16, slotted=False, faults=plan))
+
+    def test_empty_plan_builds_no_injector(self):
+        net = FsoiNetwork(FsoiConfig(num_nodes=16, faults=FaultPlan()))
+        assert net.fault_injector is None
+        assert net.fault_summary() == {}
+
+
+class TestLaneFaults:
+    def test_transient_dead_lane_detected_spared_and_healed(self):
+        """A brown-out on node 3's data lane: dark sends burn retries
+        until detection kicks in, sparing suppresses the lane, and the
+        heal lets every packet through in the end."""
+        plan = FaultPlan(lane_faults=(LaneFault(3, "data", 0, 600),),
+                         detect_threshold=3, seed=1)
+        packets = [Packet(src=3, dst=d, lane=LaneKind.DATA)
+                   for d in (0, 1, 2, 4, 5, 6)]
+        net = run_with(plan, packets)
+        assert net.quiescent()
+        assert all(p.deliver_cycle > 0 for p in packets)
+        summary = net.fault_summary()
+        data = summary["data"]
+        assert summary["lane_down_events"] == 1
+        assert data["fault_lost"] >= plan.detect_threshold
+        assert data["suppressed"] > 0
+        assert summary["gave_up_lost"] == 0
+
+    def test_permanent_dead_lane_with_giveup_drains(self):
+        """With a permanent fault the give-up bound is the only exit:
+        the network must still drain, with every packet accounted for
+        as explicitly lost."""
+        plan = FaultPlan(lane_faults=(LaneFault(3, "data"),),
+                         giveup_retries=6, detect_threshold=3, seed=1)
+        packets = [Packet(src=3, dst=d, lane=LaneKind.DATA)
+                   for d in (0, 1, 2)]
+        net = run_with(plan, packets)
+        assert net.quiescent()
+        assert net.fault_summary()["gave_up_lost"] == len(packets)
+        assert all(p.deliver_cycle == -1 for p in packets)
+        assert all(p.retries > plan.giveup_retries for p in packets)
+
+
+class TestReceiverFaults:
+    def test_dead_receiver_sparing_remaps_and_delivers(self):
+        plan = FaultPlan(receiver_faults=(ReceiverFault(0, "meta", 0),),
+                         seed=1)
+        # Plenty of senders so at least one nominally maps to receiver 0.
+        packets = [Packet(src=s, dst=0, lane=LaneKind.META)
+                   for s in range(1, 9)]
+        net = run_with(plan, packets)
+        assert net.quiescent()
+        assert all(p.deliver_cycle > 0 for p in packets)
+        assert net.fault_summary()["receiver_remaps"] > 0
+
+    def test_all_receivers_dead_is_a_lost_transmission(self):
+        plan = FaultPlan(
+            receiver_faults=(ReceiverFault(0, "meta", 0, 0, 400),
+                             ReceiverFault(0, "meta", 1, 0, 400)),
+            seed=1,
+        )
+        packets = [Packet(src=s, dst=0, lane=LaneKind.META) for s in (1, 2)]
+        net = run_with(plan, packets)
+        assert net.quiescent()
+        assert all(p.deliver_cycle > 0 for p in packets)  # healed at 400
+        assert net.fault_summary()["meta"]["fault_lost"] > 0
+        assert net.fault_summary()["receiver_remaps"] == 0
+
+
+class TestCorruption:
+    def test_burst_corrupts_then_recovers(self):
+        plan = FaultPlan(bursts=(ErrorBurst(1.0, start=0, end=200),), seed=1)
+        packets = [Packet(src=s, dst=(s + 1) % 16, lane=LaneKind.META)
+                   for s in range(0, 8, 2)]
+        net = run_with(plan, packets)
+        assert net.quiescent()
+        assert all(p.deliver_cycle > 0 for p in packets)
+        summary = net.fault_summary()
+        assert summary["meta"]["injected_corrupt"] >= len(packets)
+        assert all(p.retries >= 1 for p in packets)
+
+
+class TestConfirmationDrops:
+    def test_drops_cause_duplicates_not_loss(self):
+        plan = FaultPlan(
+            confirmation_drops=(ConfirmationDrop(1.0, start=0, end=300),),
+            seed=1,
+        )
+        confirmed = []
+        packets = []
+        for s in range(0, 6, 2):
+            p = Packet(src=s, dst=s + 1, lane=LaneKind.META)
+            p.on_confirmed = (lambda uid=s: confirmed.append(uid))
+            packets.append(p)
+        net = run_with(plan, packets)
+        assert net.quiescent()
+        assert all(p.deliver_cycle > 0 for p in packets)
+        summary = net.fault_summary()
+        assert summary["confirm_dropped"] >= len(packets)
+        assert summary["confirmations_dropped"] >= len(packets)
+        # Retransmissions of already-delivered packets are swallowed.
+        assert summary["meta"]["duplicate_rx"] >= 1
+        # §5.1 hooks fire exactly once per packet despite the retries.
+        assert sorted(confirmed) == [0, 2, 4]
+
+    def test_giveup_after_delivery_counts_separately(self):
+        """A sender that gives up on a packet the destination already
+        received is a duplicate-suppression success, not data loss."""
+        plan = FaultPlan(confirmation_drops=(ConfirmationDrop(1.0),),
+                         giveup_retries=4, seed=1)
+        packets = [Packet(src=0, dst=1, lane=LaneKind.META)]
+        net = run_with(plan, packets)
+        assert net.quiescent()
+        summary = net.fault_summary()
+        assert packets[0].deliver_cycle > 0
+        assert summary["gave_up_delivered"] == 1
+        assert summary["gave_up_lost"] == 0
+
+
+class TestAttemptLedger:
+    def test_every_transmission_accounted_for(self):
+        """Under a mixed plan the per-lane attempt ledger must balance:
+        tx == delivered + collided + error + fault_lost + corrupt +
+        duplicates.  (Suppressed attempts never reach the medium and are
+        excluded by design.)"""
+        plan = FaultPlan(
+            lane_faults=(LaneFault(3, "data", 0, 400),),
+            bursts=(ErrorBurst(0.2, start=0, end=600),),
+            confirmation_drops=(ConfirmationDrop(0.2, start=0, end=600),),
+            detect_threshold=3,
+            seed=2,
+        )
+        packets = [Packet(src=s, dst=(s + 3) % 16,
+                          lane=LaneKind.DATA if s % 3 == 0 else LaneKind.META)
+                   for s in range(16)]
+        net = run_with(plan, packets)
+        assert net.quiescent()
+        summary = net.fault_summary()
+        for lane in (LaneKind.META, LaneKind.DATA):
+            stats = {k: c.value for k, c in net._lane_stats[lane].items()}
+            fault = summary[lane.value]
+            explained = (
+                stats["delivered"]
+                + stats["collided_tx"]
+                + stats["error_tx"]
+                + fault["fault_lost"]
+                + fault["injected_corrupt"]
+                + fault["duplicate_rx"]
+            )
+            assert stats["tx"] == explained, (
+                f"{lane.value}: {stats['tx']} != {explained}"
+            )

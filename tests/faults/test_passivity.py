@@ -1,0 +1,104 @@
+"""The passivity guarantee: an empty FaultPlan changes *nothing*.
+
+The fault subsystem's contract is that fault-free runs are unaffected
+by its existence: ``faults=None`` and ``faults=FaultPlan()`` must be
+bit-for-bit indistinguishable, and both must still match the golden
+snapshots recorded before the subsystem existed.  That means no
+injector, no extra stat counters, no extra result fields and — most
+subtly — no extra RNG consumption anywhere in the run.
+"""
+
+import json
+
+import pytest
+
+from repro.cmp import CmpConfig, CmpSystem
+from repro.core.network import FsoiConfig, FsoiNetwork
+from repro.faults import FaultPlan
+from repro.net.packet import LaneKind, Packet
+from repro.sweep import canonical_json
+
+from tests.cmp.test_golden import (
+    APP,
+    CYCLES,
+    NUM_NODES,
+    SEED,
+    _diff,
+    golden_path,
+)
+
+
+def run_cmp(faults) -> dict:
+    config = CmpConfig(
+        num_nodes=NUM_NODES, app=APP, network="fsoi", seed=SEED, faults=faults
+    )
+    result = CmpSystem(config).run(CYCLES).to_dict()
+    return json.loads(canonical_json(result))
+
+
+class TestEmptyPlanPassivity:
+    def test_empty_plan_result_identical_to_no_plan(self):
+        assert canonical_json(run_cmp(FaultPlan())) == canonical_json(
+            run_cmp(None)
+        )
+
+    def test_empty_plan_matches_pre_fault_golden_snapshot(self):
+        """The hard passivity check: a run with ``faults=FaultPlan()``
+        must reproduce the golden snapshot recorded for plain runs —
+        field-for-field, including that no new fields appear."""
+        path = golden_path("fsoi")
+        assert path.exists(), f"golden snapshot missing: {path}"
+        expected = json.loads(path.read_text())
+        differences = _diff(expected, run_cmp(FaultPlan()))
+        assert not differences, (
+            "empty fault plan perturbed the run:\n  "
+            + "\n  ".join(differences[:20])
+        )
+
+    def test_empty_plan_stat_tree_identical(self):
+        """Same comparison one layer down, on the raw network: the stat
+        tree must have the same shape and values (no `fault` group)."""
+
+        def run(faults):
+            net = FsoiNetwork(
+                FsoiConfig(num_nodes=16, seed=4, faults=faults)
+            )
+            for src in range(8):
+                net.try_send(
+                    Packet(src=src, dst=15 - src, lane=LaneKind.META), 0
+                )
+            cycle = 0
+            while not net.quiescent() and cycle < 20_000:
+                net.tick(cycle)
+                cycle += 1
+            return net.stats.group.as_dict()
+
+        baseline = run(None)
+        with_empty_plan = run(FaultPlan())
+        assert canonical_json(with_empty_plan) == canonical_json(baseline)
+        assert "fault" not in with_empty_plan
+
+    def test_empty_plan_metrics_registry_identical(self):
+        def registry(faults):
+            config = CmpConfig(
+                num_nodes=NUM_NODES, app=APP, network="fsoi", seed=SEED,
+                faults=faults,
+            )
+            system = CmpSystem(config)
+            system.run(500)
+            return system.metrics_registry().to_json()
+
+        assert registry(FaultPlan()) == registry(None)
+
+
+class TestActivePlanIsVisible:
+    def test_active_plan_adds_fault_fields_only(self):
+        """Sanity inverse of passivity: a real plan surfaces its
+        counters (so the passivity assertions above cannot be passing
+        because the plumbing is dead)."""
+        from repro.faults import ConfirmationDrop
+
+        plan = FaultPlan(confirmation_drops=(ConfirmationDrop(0.05),), seed=3)
+        result = run_cmp(plan)
+        assert "faults" in result["fsoi"]
+        assert result["fsoi"]["faults"]["confirm_dropped"] > 0

@@ -1,0 +1,115 @@
+"""FaultPlan: validation, serialization, hashing."""
+
+import dataclasses
+
+import pytest
+
+from repro.faults import (
+    ConfirmationDrop,
+    ErrorBurst,
+    FaultPlan,
+    LaneFault,
+    ReceiverFault,
+    ThermalDroop,
+)
+
+
+def full_plan() -> FaultPlan:
+    return FaultPlan(
+        label="everything",
+        lane_faults=(LaneFault(3, "data", start=100, end=900),),
+        receiver_faults=(ReceiverFault(5, "meta", 1, start=0, end=None),),
+        droops=(ThermalDroop(3.0, node=None, start=200, end=600),),
+        bursts=(ErrorBurst(0.02, node=2, lane="meta", start=50, end=150),),
+        confirmation_drops=(ConfirmationDrop(0.05),),
+        giveup_retries=12,
+        detect_threshold=4,
+        seed=7,
+    )
+
+
+class TestValidation:
+    def test_default_plan_is_empty(self):
+        plan = FaultPlan()
+        assert plan.is_empty()
+        assert plan.max_node() == -1
+        assert plan.describe() == "empty plan (no faults)"
+
+    def test_giveup_alone_makes_plan_non_empty(self):
+        # A give-up bound changes behaviour (packets can be abandoned),
+        # so it must defeat the passivity fast-path.
+        assert not FaultPlan(giveup_retries=5).is_empty()
+
+    @pytest.mark.parametrize(
+        "build",
+        [
+            lambda: LaneFault(-1, "meta"),
+            lambda: LaneFault(0, "sideband"),
+            lambda: LaneFault(0, "meta", start=-1),
+            lambda: LaneFault(0, "meta", start=10, end=10),
+            lambda: ReceiverFault(0, "data", receiver=-1),
+            lambda: ThermalDroop(0.0),
+            lambda: ThermalDroop(-2.0),
+            lambda: ErrorBurst(1.5),
+            lambda: ErrorBurst(-0.1),
+            lambda: ErrorBurst(0.1, lane="ctrl"),
+            lambda: ConfirmationDrop(2.0),
+            lambda: FaultPlan(giveup_retries=0),
+            lambda: FaultPlan(detect_threshold=0),
+        ],
+    )
+    def test_invalid_entries_raise(self, build):
+        with pytest.raises(ValueError):
+            build()
+
+    def test_validate_for_rejects_out_of_range_node(self):
+        plan = FaultPlan(lane_faults=(LaneFault(16, "meta"),))
+        with pytest.raises(ValueError, match="node 16"):
+            plan.validate_for(16, {"meta": 2, "data": 2})
+        plan.validate_for(17, {"meta": 2, "data": 2})
+
+    def test_validate_for_rejects_out_of_range_receiver(self):
+        plan = FaultPlan(receiver_faults=(ReceiverFault(0, "data", 2),))
+        with pytest.raises(ValueError, match="receiver 2"):
+            plan.validate_for(16, {"meta": 2, "data": 2})
+        plan.validate_for(16, {"meta": 2, "data": 4})
+
+    def test_lists_coerced_to_tuples(self):
+        plan = FaultPlan(lane_faults=[LaneFault(1, "meta")])
+        assert isinstance(plan.lane_faults, tuple)
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        plan = full_plan()
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+    def test_empty_round_trip(self):
+        assert FaultPlan.from_dict({}) == FaultPlan()
+        assert FaultPlan.from_dict(FaultPlan().to_dict()) == FaultPlan()
+
+    def test_to_dict_matches_dataclasses_asdict(self):
+        """The sweep engine encodes extras with ``dataclasses.asdict``;
+        both spellings must produce the same JSON shape or the same plan
+        would get two different cache keys."""
+        plan = full_plan()
+        raw = dataclasses.asdict(plan)
+        # asdict represents the tuples as lists of dicts, like to_dict.
+        assert plan.to_dict() == {
+            key: list(value) if isinstance(value, (list, tuple)) else value
+            for key, value in raw.items()
+        }
+
+    def test_content_hash_stable_and_discriminating(self):
+        plan = full_plan()
+        assert plan.content_hash() == full_plan().content_hash()
+        assert len(plan.content_hash()) == 16
+        other = dataclasses.replace(plan, seed=8)
+        assert other.content_hash() != plan.content_hash()
+
+    def test_describe_mentions_every_fault_kind(self):
+        text = full_plan().describe()
+        for needle in ("dead data lane", "receiver 1", "droop 3 dB",
+                       "burst rate 0.02", "confirmation drops rate 0.05",
+                       "give up after 12"):
+            assert needle in text, f"missing {needle!r} in:\n{text}"

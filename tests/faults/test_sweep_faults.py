@@ -1,0 +1,104 @@
+"""FaultPlan as a sweep axis: point expansion, cache keys, round-trips."""
+
+import pytest
+
+from repro.faults import FaultPlan, LaneFault
+from repro.sweep import SweepSpec
+from repro.sweep.cache import point_key
+from repro.sweep.runner import run_sweep
+from repro.sweep.spec import SweepPoint
+
+
+def killer_plan(seed=1) -> FaultPlan:
+    return FaultPlan(label="k3", lane_faults=(LaneFault(3, "data"),),
+                     giveup_retries=10, seed=seed)
+
+
+def spec_with_faults(networks=("fsoi",)) -> SweepSpec:
+    return SweepSpec(
+        apps=("oc",), networks=networks, nodes=(8,), seeds=(0,), cycles=400,
+        faults=(FaultPlan(), killer_plan()),
+    )
+
+
+class TestPointExpansion:
+    def test_fault_axis_multiplies_fsoi_points_only(self):
+        spec = spec_with_faults(networks=("fsoi", "mesh"))
+        labels = [point.label() for point in spec.points()]
+        # fsoi gets both plans; mesh (no optical substrate) only one.
+        assert labels == [
+            "oc/fsoi/n8/s0", "oc/fsoi/n8/s0/+flt", "oc/mesh/n8/s0"
+        ]
+
+    def test_empty_plan_point_has_no_extras(self):
+        """The fault-free point of a faulted sweep must be *the same
+        point* as in a sweep without the axis — same cache key, so
+        cached baselines are shared."""
+        plain = SweepSpec(apps=("oc",), networks=("fsoi",), nodes=(8,),
+                          seeds=(0,), cycles=400)
+        faulted = spec_with_faults()
+        assert plain.points()[0] == faulted.points()[0]
+        assert point_key(plain.points()[0], "v") == point_key(
+            faulted.points()[0], "v"
+        )
+
+    def test_validation_rejects_non_plan_entries(self):
+        with pytest.raises(ValueError):
+            SweepSpec(apps=("oc",), networks=("fsoi",), nodes=(8,),
+                      seeds=(0,), cycles=400, faults=({"seed": 1},))
+        with pytest.raises(ValueError):
+            SweepSpec(apps=("oc",), networks=("fsoi",), nodes=(8,),
+                      seeds=(0,), cycles=400, faults=())
+
+
+class TestCacheKeys:
+    def test_different_plans_different_keys(self):
+        spec = SweepSpec(
+            apps=("oc",), networks=("fsoi",), nodes=(8,), seeds=(0,),
+            cycles=400,
+            faults=(killer_plan(seed=1), killer_plan(seed=2)),
+        )
+        keys = {point_key(point, "v") for point in spec.points()}
+        assert len(keys) == 2
+
+    def test_point_round_trip_preserves_key(self):
+        point = spec_with_faults().points()[1]
+        rebuilt = SweepPoint.from_dict(point.to_dict())
+        assert rebuilt == point
+        assert point_key(rebuilt, "v") == point_key(point, "v")
+
+    def test_to_config_rebuilds_plan(self):
+        point = spec_with_faults().points()[1]
+        config = point.to_config()
+        assert config.faults == killer_plan()
+
+
+class TestSpecSerialization:
+    def test_spec_round_trip(self):
+        spec = spec_with_faults()
+        rebuilt = SweepSpec.from_dict(spec.to_dict())
+        assert rebuilt == spec
+        assert rebuilt.to_dict() == spec.to_dict()
+
+    def test_legacy_spec_dicts_get_empty_axis(self):
+        data = SweepSpec(apps=("oc",), networks=("fsoi",), nodes=(8,),
+                         seeds=(0,), cycles=400).to_dict()
+        del data["faults"]
+        assert SweepSpec.from_dict(data).faults == (FaultPlan(),)
+
+
+class TestEndToEnd:
+    def test_sweep_runs_and_caches_fault_points(self, tmp_path):
+        spec = spec_with_faults()
+        report = run_sweep(spec, workers=1, cache_dir=tmp_path)
+        assert report.ok
+        by_label = {p.label(): r for p, r in report.results()}
+        assert "faults" not in by_label["oc/fsoi/n8/s0"].fsoi
+        faulted = by_label["oc/fsoi/n8/s0/+flt"].fsoi["faults"]
+        assert faulted["lane_down_events"] >= 1
+
+        again = run_sweep(spec, workers=1, cache_dir=tmp_path)
+        assert again.ok and again.from_cache == len(spec.points())
+        cached = {p.label(): r for p, r in again.results()}
+        faulted_cached = cached["oc/fsoi/n8/s0/+flt"].fsoi["faults"]
+        assert faulted_cached == faulted

@@ -1,0 +1,112 @@
+"""Property-based invariants of the OOK noise chain (optics/noise.py).
+
+The fault injector's thermal-droop path leans on this module (droop dB
+-> scaled photocurrents -> Q -> BER), so its mathematical backbone gets
+property coverage: the Q<->BER bijection must round-trip, BER must fall
+monotonically as received power rises, and the domain edges must raise
+rather than silently return garbage.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.optics.noise import ReceiverNoise, ber_from_q, q_from_ber
+
+# erfcinv loses precision as BER collapses toward 0 (Q >~ 8 puts BER
+# under 1e-15); keep the round-trip domain where the inverse is stable.
+qs = st.floats(min_value=0.05, max_value=8.0,
+               allow_nan=False, allow_infinity=False)
+currents = st.floats(min_value=1e-7, max_value=5e-3,
+                     allow_nan=False, allow_infinity=False)
+
+
+class TestQBerRoundTrip:
+    @given(q=qs)
+    @settings(max_examples=200, deadline=None)
+    def test_q_to_ber_and_back(self, q):
+        assert q_from_ber(ber_from_q(q)) == pytest.approx(q, rel=1e-9)
+
+    @given(q1=qs, q2=qs)
+    @settings(max_examples=100, deadline=None)
+    def test_ber_strictly_decreasing_in_q(self, q1, q2):
+        lo, hi = sorted((q1, q2))
+        if hi - lo > 1e-9:
+            assert ber_from_q(hi) < ber_from_q(lo)
+
+    def test_zero_q_is_coin_flip(self):
+        assert ber_from_q(0.0) == pytest.approx(0.5)
+
+    @given(q=qs)
+    @settings(max_examples=100, deadline=None)
+    def test_ber_always_in_half_open_unit_interval(self, q):
+        ber = ber_from_q(q)
+        assert 0.0 < ber < 0.5
+
+
+class TestBerMonotoneInPower:
+    @given(i0=st.floats(min_value=0.0, max_value=1e-4,
+                        allow_nan=False, allow_infinity=False),
+           i1=currents, boost=st.floats(min_value=1.01, max_value=10.0,
+                                        allow_nan=False, allow_infinity=False))
+    @settings(max_examples=150, deadline=None)
+    def test_more_signal_current_never_hurts(self, i0, i1, boost):
+        """Raising I1 (more received power) must not raise the BER —
+        exactly the chain the thermal-droop fault walks in reverse."""
+        noise = ReceiverNoise()
+        i1 = max(i1, i0 + 1e-9)
+        assert noise.ber(i1 * boost, i0) <= noise.ber(i1, i0)
+
+    @given(i1=currents, scale=st.floats(min_value=0.05, max_value=0.95,
+                                        allow_nan=False, allow_infinity=False))
+    @settings(max_examples=150, deadline=None)
+    def test_uniform_droop_raises_ber(self, i1, scale):
+        """Scaling both rails down (a VCSEL power droop preserves the
+        extinction ratio) strictly shrinks the Q factor: thermal noise
+        is power-independent, so the eye closes.  Compared in the Q
+        domain because BER underflows to exactly 0.0 at healthy
+        photocurrents (Q > ~40)."""
+        noise = ReceiverNoise()
+        i0 = 0.05 * i1
+        assert noise.q_factor(i1 * scale, i0 * scale) < noise.q_factor(i1, i0)
+
+    @given(i1=currents)
+    @settings(max_examples=100, deadline=None)
+    def test_shot_noise_keeps_q_below_thermal_only_bound(self, i1):
+        noise = ReceiverNoise()
+        q = noise.q_factor(i1, 0.0)
+        thermal_only = i1 / (2.0 * noise.thermal_sigma)
+        assert q <= thermal_only + 1e-12
+
+
+class TestDomainEdges:
+    def test_negative_q_raises(self):
+        with pytest.raises(ValueError):
+            ber_from_q(-1e-9)
+
+    @pytest.mark.parametrize("ber", [0.0, 0.5, 1.0, -0.1])
+    def test_ber_outside_open_interval_raises(self, ber):
+        with pytest.raises(ValueError):
+            q_from_ber(ber)
+
+    def test_ber_approaching_half_gives_vanishing_q(self):
+        assert q_from_ber(0.5 - 1e-12) == pytest.approx(0.0, abs=1e-5)
+
+    def test_negative_photocurrent_raises(self):
+        with pytest.raises(ValueError):
+            ReceiverNoise().level_sigma(-1e-9)
+
+    def test_inverted_eye_raises(self):
+        with pytest.raises(ValueError):
+            ReceiverNoise().q_factor(1e-5, 2e-5)
+
+    @pytest.mark.parametrize(
+        "kwargs", [{"bandwidth": 0.0}, {"bandwidth": -1.0},
+                   {"input_noise_density": 0.0},
+                   {"input_noise_density": -1e-12}],
+    )
+    def test_unphysical_receiver_raises(self, kwargs):
+        with pytest.raises(ValueError):
+            ReceiverNoise(**kwargs)
