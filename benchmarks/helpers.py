@@ -24,6 +24,9 @@ take seconds):
   benches (default: up to 4, capped at the available cores).
 * ``REPRO_BENCH_CACHE`` — cache directory (default
   ``benchmarks/.cache``); set empty to disable caching.
+* ``REPRO_BENCH_PROGRESS`` — set non-empty to draw a live progress
+  line (done/cache/failed counters + ETA) on stderr while a benchmark
+  sweep runs; off by default so captured benchmark output stays clean.
 """
 
 from __future__ import annotations
@@ -151,9 +154,24 @@ def run_bench_sweep(
         cycles=cycles or bench_cycles(),
         variants=variants or (Variant(),),
     )
+    pool = workers or bench_workers()
+    telemetry = None
+    if os.environ.get("REPRO_BENCH_PROGRESS"):
+        import sys
+
+        from repro.analytics import SweepTelemetry
+
+        telemetry = SweepTelemetry(
+            total=len(spec.points()), workers=pool, live=True,
+            stream=sys.stderr,
+        )
     report = run_sweep(
-        spec, workers=workers or bench_workers(), cache=bench_cache()
+        spec, workers=pool, cache=bench_cache(),
+        progress=telemetry.on_progress if telemetry else None,
+        heartbeat=telemetry.on_heartbeat if telemetry else None,
     )
+    if telemetry:
+        telemetry.close()
     failed = [o for o in report.outcomes if not o.ok]
     if failed:
         details = "; ".join(

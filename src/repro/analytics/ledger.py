@@ -1,0 +1,489 @@
+"""The run ledger: an on-disk store of sweep runs, queryable across runs.
+
+``run_sweep`` leaves behind per-run artefacts — a JSONL results file
+and, optionally, a directory of per-point metrics-registry archives —
+but nothing relates one run to the next.  :class:`RunStore` ingests
+those artefacts (or a live :class:`~repro.sweep.SweepReport`) into a
+single SQLite file keyed by content hash, code version, fault-plan
+label and timestamp, so the questions that need *two or more* runs
+become one-liners::
+
+    store = RunStore(".repro-ledger.sqlite")
+    info = store.ingest_jsonl("results.jsonl", metrics_dir="metrics/")
+    fsoi = store.select(network="fsoi", nodes=16)
+    print(store.diff(info.run_id, older.run_id).render())
+
+Identity & idempotence
+----------------------
+A run's default ``run_id`` is a content hash over its point keys and
+code version, so re-ingesting the same results file is a no-op update
+rather than a duplicate run.  Point rows carry the sweep cache key, so
+a point can be correlated with its on-disk cache entry.
+
+Fault plans
+-----------
+A point that carries a fault plan files under the plan's
+:meth:`~repro.faults.FaultPlan.ledger_label` (explicit label, or the
+plan's content hash for anonymous plans); fault-free points file under
+``""``.  ``select(faults="thermal-3db")`` therefore retrieves one
+tolerance-band population across every ingested run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import sqlite3
+from dataclasses import dataclass
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any, Iterable, Optional
+
+from repro.sweep.cache import code_version as current_code_version
+from repro.sweep.runner import SweepReport, load_jsonl, metrics_filename
+from repro.sweep.spec import SweepPoint, canonical_json
+
+__all__ = ["LedgerPoint", "RunDiff", "RunInfo", "RunStore"]
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS runs (
+    run_id       TEXT PRIMARY KEY,
+    created_at   TEXT NOT NULL,
+    code_version TEXT NOT NULL,
+    label        TEXT NOT NULL DEFAULT '',
+    source       TEXT NOT NULL DEFAULT '',
+    points       INTEGER NOT NULL
+);
+CREATE TABLE IF NOT EXISTS points (
+    run_id       TEXT NOT NULL REFERENCES runs(run_id) ON DELETE CASCADE,
+    idx          INTEGER NOT NULL,
+    key          TEXT NOT NULL,
+    app          TEXT NOT NULL,
+    network      TEXT NOT NULL,
+    num_nodes    INTEGER NOT NULL,
+    cycles       INTEGER NOT NULL,
+    seed         INTEGER NOT NULL,
+    optimizations TEXT NOT NULL DEFAULT '',
+    variant      TEXT NOT NULL DEFAULT '',
+    faults_label TEXT NOT NULL DEFAULT '',
+    status       TEXT NOT NULL,
+    cached       INTEGER NOT NULL DEFAULT 0,
+    elapsed      REAL NOT NULL DEFAULT 0.0,
+    error        TEXT,
+    point_json   TEXT NOT NULL,
+    result_json  TEXT,
+    metrics_json TEXT,
+    PRIMARY KEY (run_id, idx)
+);
+CREATE INDEX IF NOT EXISTS points_by_axes
+    ON points (network, num_nodes, app, seed);
+"""
+
+
+def _faults_label(point_dict: dict) -> str:
+    """The ledger label of the point's fault plan ('' when fault-free)."""
+    plan_dict = point_dict.get("extras", {}).get("faults")
+    if not plan_dict:
+        return ""
+    from repro.faults.plan import FaultPlan
+
+    return FaultPlan.from_dict(plan_dict).ledger_label()
+
+
+@dataclass(frozen=True)
+class RunInfo:
+    """One ledger row of the ``runs`` table."""
+
+    run_id: str
+    created_at: str
+    code_version: str
+    label: str
+    source: str
+    points: int
+
+
+@dataclass(frozen=True)
+class LedgerPoint:
+    """One ingested sweep point, result and metrics included."""
+
+    run_id: str
+    index: int
+    key: str
+    app: str
+    network: str
+    num_nodes: int
+    cycles: int
+    seed: int
+    optimizations: str
+    variant: str
+    faults_label: str
+    status: str
+    cached: bool
+    elapsed: float
+    error: Optional[str]
+    point: dict
+    result: Optional[dict]
+    metrics: Optional[dict]
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def sweep_point(self) -> SweepPoint:
+        return SweepPoint.from_dict(self.point)
+
+    def label(self) -> str:
+        return self.sweep_point().label()
+
+
+#: Scalar metrics :meth:`RunStore.diff` compares, extracted from the
+#: stored result dict (``CmpResults.to_dict()`` shape).
+DIFF_METRICS = {
+    "ipc": lambda r: r["instructions"] / r["cycles"] if r["cycles"] else 0.0,
+    "latency": lambda r: r["latency_breakdown"]["total"],
+    "packets_delivered": lambda r: r["packets_delivered"],
+    "meta_collision_rate": lambda r: r.get("fsoi", {}).get(
+        "meta_collision_rate"
+    ),
+}
+
+
+@dataclass(frozen=True)
+class DiffRow:
+    """One (point, metric) comparison between two runs."""
+
+    point_label: str
+    metric: str
+    a: float
+    b: float
+
+    @property
+    def delta(self) -> float:
+        return self.b - self.a
+
+    @property
+    def relative(self) -> float:
+        """``(b - a) / a``; 0.0 when the baseline is zero."""
+        return self.delta / self.a if self.a else 0.0
+
+
+@dataclass(frozen=True)
+class RunDiff:
+    """Paired comparison of the points two runs share."""
+
+    run_a: str
+    run_b: str
+    rows: tuple[DiffRow, ...]
+    only_a: tuple[str, ...]
+    only_b: tuple[str, ...]
+
+    def changed(self, rel_threshold: float = 0.0) -> list[DiffRow]:
+        return [
+            row for row in self.rows if abs(row.relative) > rel_threshold
+        ]
+
+    def render(self, rel_threshold: float = 0.005) -> str:
+        """A text table of the metrics that moved more than the threshold."""
+        lines = [
+            f"diff {self.run_a} -> {self.run_b}: "
+            f"{len(self.rows)} shared comparisons, "
+            f"{len(self.only_a)} only in A, {len(self.only_b)} only in B"
+        ]
+        moved = self.changed(rel_threshold)
+        if not moved:
+            lines.append(f"  no metric moved more than {100 * rel_threshold:g}%")
+        for row in moved:
+            lines.append(
+                f"  {row.point_label:<30} {row.metric:<20} "
+                f"{row.a:>10.4g} -> {row.b:>10.4g}  ({100 * row.relative:+.1f}%)"
+            )
+        return "\n".join(lines)
+
+
+class RunStore:
+    """SQLite-backed cross-run result store (see module docstring)."""
+
+    def __init__(self, path):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._conn = sqlite3.connect(str(self.path))
+        self._conn.executescript(_SCHEMA)
+
+    # -- lifecycle ------------------------------------------------------
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "RunStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- ingestion ------------------------------------------------------
+
+    def ingest_jsonl(
+        self,
+        jsonl_path,
+        *,
+        run_id: Optional[str] = None,
+        label: str = "",
+        metrics_dir=None,
+        code_version: Optional[str] = None,
+        created_at: Optional[str] = None,
+    ) -> RunInfo:
+        """Ingest a ``run_sweep`` JSONL results file as one run.
+
+        Corrupt/truncated lines are skipped (``load_jsonl`` non-strict):
+        an interrupted sweep's surviving records still ingest.  With
+        ``metrics_dir`` set, each point's metrics-registry archive
+        (named by :func:`repro.sweep.metrics_filename`) is attached.
+        """
+        records = load_jsonl(jsonl_path, strict=False)
+        rows = [
+            {
+                "index": rec["index"],
+                "key": rec["key"],
+                "point": rec["point"],
+                "status": rec["status"],
+                "result": rec.get("result"),
+                "error": rec.get("error"),
+                "cached": False,
+                "elapsed": 0.0,
+            }
+            for rec in records
+        ]
+        return self._ingest(
+            rows,
+            run_id=run_id,
+            label=label,
+            source=str(jsonl_path),
+            metrics_dir=metrics_dir,
+            code_version=code_version,
+            created_at=created_at,
+        )
+
+    def ingest_report(
+        self,
+        report: SweepReport,
+        *,
+        run_id: Optional[str] = None,
+        label: str = "",
+        metrics_dir=None,
+        code_version: Optional[str] = None,
+        created_at: Optional[str] = None,
+    ) -> RunInfo:
+        """Ingest a live :class:`~repro.sweep.SweepReport` as one run.
+
+        Unlike the JSONL path this preserves per-point timing and
+        cache-hit flags (the JSONL file keeps deterministic fields
+        only).
+        """
+        rows = [
+            {
+                "index": index,
+                "key": outcome.key,
+                "point": outcome.point.to_dict(),
+                "status": outcome.status,
+                "result": outcome.result,
+                "error": outcome.error,
+                "cached": outcome.cached,
+                "elapsed": outcome.elapsed,
+            }
+            for index, outcome in enumerate(report.outcomes)
+        ]
+        source = str(report.jsonl_path) if report.jsonl_path else "<in-memory>"
+        return self._ingest(
+            rows,
+            run_id=run_id,
+            label=label,
+            source=source,
+            metrics_dir=metrics_dir,
+            code_version=code_version,
+            created_at=created_at,
+        )
+
+    def _ingest(
+        self, rows, *, run_id, label, source, metrics_dir, code_version,
+        created_at,
+    ) -> RunInfo:
+        version = code_version or current_code_version()
+        if run_id is None:
+            digest = hashlib.sha256()
+            for row in rows:
+                digest.update(row["key"].encode())
+                digest.update(b"\0")
+            digest.update(version.encode())
+            run_id = digest.hexdigest()[:12]
+        stamp = created_at or datetime.now(timezone.utc).isoformat(
+            timespec="seconds"
+        )
+        info = RunInfo(
+            run_id=run_id,
+            created_at=stamp,
+            code_version=version,
+            label=label,
+            source=source,
+            points=len(rows),
+        )
+        with self._conn:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO runs VALUES (?, ?, ?, ?, ?, ?)",
+                (info.run_id, info.created_at, info.code_version,
+                 info.label, info.source, info.points),
+            )
+            self._conn.execute("DELETE FROM points WHERE run_id = ?", (run_id,))
+            for row in rows:
+                point = row["point"]
+                metrics = self._load_metrics(metrics_dir, point)
+                self._conn.execute(
+                    "INSERT INTO points VALUES "
+                    "(?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                    (
+                        run_id,
+                        row["index"],
+                        row["key"],
+                        point["app"],
+                        point["network"],
+                        int(point["num_nodes"]),
+                        int(point["cycles"]),
+                        int(point["seed"]),
+                        ",".join(point.get("optimizations", ())),
+                        point.get("variant", ""),
+                        _faults_label(point),
+                        row["status"],
+                        int(bool(row["cached"])),
+                        float(row["elapsed"]),
+                        row["error"],
+                        canonical_json(point),
+                        canonical_json(row["result"])
+                        if row["result"] is not None else None,
+                        canonical_json(metrics) if metrics is not None else None,
+                    ),
+                )
+        return info
+
+    @staticmethod
+    def _load_metrics(metrics_dir, point_dict: dict) -> Optional[dict]:
+        if metrics_dir is None:
+            return None
+        path = Path(metrics_dir) / metrics_filename(
+            SweepPoint.from_dict(point_dict)
+        )
+        try:
+            with open(path) as handle:
+                return json.load(handle)
+        except (FileNotFoundError, json.JSONDecodeError):
+            return None
+
+    # -- queries --------------------------------------------------------
+
+    def runs(self) -> list[RunInfo]:
+        """Every ingested run, newest first."""
+        cursor = self._conn.execute(
+            "SELECT run_id, created_at, code_version, label, source, points "
+            "FROM runs ORDER BY created_at DESC, run_id"
+        )
+        return [RunInfo(*row) for row in cursor.fetchall()]
+
+    def run(self, run_id: str) -> RunInfo:
+        cursor = self._conn.execute(
+            "SELECT run_id, created_at, code_version, label, source, points "
+            "FROM runs WHERE run_id = ?", (run_id,)
+        )
+        row = cursor.fetchone()
+        if row is None:
+            raise KeyError(f"no run {run_id!r} in {self.path}")
+        return RunInfo(*row)
+
+    _FILTER_COLUMNS = {
+        "app": "app",
+        "network": "network",
+        "nodes": "num_nodes",
+        "num_nodes": "num_nodes",
+        "cycles": "cycles",
+        "seed": "seed",
+        "variant": "variant",
+        "faults": "faults_label",
+        "faults_label": "faults_label",
+        "status": "status",
+    }
+
+    def select(
+        self, run_id: Optional[str] = None, **filters: Any
+    ) -> list[LedgerPoint]:
+        """Points matching the filters, across runs unless ``run_id`` set.
+
+        >>> # store.select(network="fsoi", nodes=16)
+        >>> # store.select(run_id, app="oc", faults="thermal-3db")
+        """
+        clauses, params = [], []
+        if run_id is not None:
+            clauses.append("run_id = ?")
+            params.append(run_id)
+        for name, value in filters.items():
+            column = self._FILTER_COLUMNS.get(name)
+            if column is None:
+                raise ValueError(
+                    f"unknown filter {name!r}; choose from "
+                    f"{sorted(set(self._FILTER_COLUMNS))}"
+                )
+            clauses.append(f"{column} = ?")
+            params.append(value)
+        where = f"WHERE {' AND '.join(clauses)}" if clauses else ""
+        cursor = self._conn.execute(
+            "SELECT run_id, idx, key, app, network, num_nodes, cycles, seed, "
+            "optimizations, variant, faults_label, status, cached, elapsed, "
+            f"error, point_json, result_json, metrics_json FROM points {where} "
+            "ORDER BY run_id, idx",
+            params,
+        )
+        out = []
+        for row in cursor.fetchall():
+            out.append(LedgerPoint(
+                run_id=row[0], index=row[1], key=row[2], app=row[3],
+                network=row[4], num_nodes=row[5], cycles=row[6], seed=row[7],
+                optimizations=row[8], variant=row[9], faults_label=row[10],
+                status=row[11], cached=bool(row[12]), elapsed=row[13],
+                error=row[14],
+                point=json.loads(row[15]),
+                result=json.loads(row[16]) if row[16] else None,
+                metrics=json.loads(row[17]) if row[17] else None,
+            ))
+        return out
+
+    def diff(self, run_a: str, run_b: str) -> RunDiff:
+        """Metric-by-metric comparison of the points two runs share.
+
+        Points pair by their full configuration (the canonical point
+        JSON), so only like-for-like experiments are compared; points
+        present in one run only are reported, not silently dropped.
+        """
+        a_points = {
+            canonical_json(p.point): p for p in self.select(run_a) if p.ok
+        }
+        b_points = {
+            canonical_json(p.point): p for p in self.select(run_b) if p.ok
+        }
+        rows: list[DiffRow] = []
+        for identity in sorted(set(a_points) & set(b_points)):
+            pa, pb = a_points[identity], b_points[identity]
+            for metric, extract in DIFF_METRICS.items():
+                va, vb = extract(pa.result), extract(pb.result)
+                if va is None or vb is None:
+                    continue
+                rows.append(DiffRow(
+                    point_label=pa.label(), metric=metric,
+                    a=float(va), b=float(vb),
+                ))
+        return RunDiff(
+            run_a=run_a,
+            run_b=run_b,
+            rows=tuple(rows),
+            only_a=tuple(sorted(
+                a_points[k].label() for k in set(a_points) - set(b_points)
+            )),
+            only_b=tuple(sorted(
+                b_points[k].label() for k in set(b_points) - set(a_points)
+            )),
+        )

@@ -1,0 +1,286 @@
+"""Rendering for ``repro report``: terminal, Markdown and HTML.
+
+A :class:`ReportBundle` gathers everything one report covers — the
+sweep's per-point rows, the paper-figure validation verdicts, the
+ledger identity of the run and (when available) the diff against the
+previous ingested run — and renders it three ways:
+
+* :meth:`to_terminal` — compact text, reusing
+  :mod:`repro.util.charts` bars for the speedup figure;
+* :meth:`to_markdown` — tables for a PR comment or commit artefact;
+* :meth:`to_html` — one self-contained file (inline CSS, no external
+  assets) suitable for a CI artefact that opens anywhere.
+"""
+
+from __future__ import annotations
+
+import html
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+from typing import Optional
+
+from repro.analytics.ledger import RunDiff, RunInfo
+from repro.analytics.validation import ValidationReport
+from repro.util.charts import bar_chart
+
+__all__ = ["ReportBundle", "ResultRow"]
+
+
+@dataclass(frozen=True)
+class ResultRow:
+    """One sweep point in the report's results table."""
+
+    label: str
+    status: str
+    cached: bool
+    ipc: Optional[float] = None
+    latency: Optional[float] = None
+    error: Optional[str] = None
+
+
+@dataclass
+class ReportBundle:
+    """Everything one ``repro report`` invocation renders."""
+
+    title: str
+    rows: list[ResultRow] = field(default_factory=list)
+    validation: Optional[ValidationReport] = None
+    run_info: Optional[RunInfo] = None
+    diff: Optional[RunDiff] = None
+    speedups: dict[str, float] = field(default_factory=dict)
+    wall_seconds: float = 0.0
+    generated_at: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.generated_at:
+            self.generated_at = datetime.now(timezone.utc).isoformat(
+                timespec="seconds"
+            )
+
+    # -- shared fragments ----------------------------------------------
+
+    @property
+    def counts(self) -> dict[str, int]:
+        return {
+            "total": len(self.rows),
+            "ok": sum(1 for r in self.rows if r.status == "ok"),
+            "failed": sum(1 for r in self.rows if r.status != "ok"),
+            "from_cache": sum(1 for r in self.rows if r.cached),
+        }
+
+    def _summary_line(self) -> str:
+        c = self.counts
+        line = (
+            f"{c['total']} points: {c['ok']} ok "
+            f"({c['from_cache']} from cache), {c['failed']} failed"
+        )
+        if self.wall_seconds:
+            line += f", {self.wall_seconds:.1f}s wall"
+        return line
+
+    # -- terminal -------------------------------------------------------
+
+    def to_terminal(self) -> str:
+        lines = [self.title, f"  {self._summary_line()}"]
+        if self.run_info:
+            lines.append(
+                f"  ledger run {self.run_info.run_id} "
+                f"(code {self.run_info.code_version}, "
+                f"{self.run_info.created_at})"
+            )
+        if self.rows:
+            lines.append(f"  {'point':<30} {'IPC':>8} {'latency':>8}  status")
+            for row in self.rows:
+                ipc = f"{row.ipc:.3f}" if row.ipc is not None else "-"
+                lat = f"{row.latency:.2f}" if row.latency is not None else "-"
+                status = "cache" if row.cached else row.status
+                lines.append(
+                    f"  {row.label:<30} {ipc:>8} {lat:>8}  {status}"
+                )
+                if row.error:
+                    lines.append(f"    {row.error}")
+        if self.speedups:
+            lines.append("")
+            lines.append(bar_chart(
+                self.speedups, width=30,
+                title="  FSOI speedup over mesh (paired)", fmt="{:.3f}x",
+            ))
+        if self.validation:
+            lines.append("")
+            lines.append(self.validation.render())
+        if self.diff:
+            lines.append("")
+            lines.append(self.diff.render())
+        return "\n".join(lines)
+
+    # -- markdown -------------------------------------------------------
+
+    def to_markdown(self) -> str:
+        lines = [f"# {self.title}", "", f"_{self._summary_line()}_", ""]
+        if self.run_info:
+            lines += [
+                f"Ledger run `{self.run_info.run_id}` · code "
+                f"`{self.run_info.code_version}` · {self.run_info.created_at}",
+                "",
+            ]
+        if self.rows:
+            lines += [
+                "| point | IPC | latency | status |",
+                "|---|---:|---:|---|",
+            ]
+            for row in self.rows:
+                ipc = f"{row.ipc:.3f}" if row.ipc is not None else "-"
+                lat = f"{row.latency:.2f}" if row.latency is not None else "-"
+                status = "cache" if row.cached else row.status
+                lines.append(f"| `{row.label}` | {ipc} | {lat} | {status} |")
+            lines.append("")
+        if self.speedups:
+            lines += ["## Speedups (FSOI over mesh, paired)", ""]
+            lines += [
+                "| pairing | speedup |", "|---|---:|",
+            ] + [
+                f"| {name} | {value:.3f}x |"
+                for name, value in self.speedups.items()
+            ] + [""]
+        if self.validation:
+            v = self.validation
+            lines += [
+                "## Paper-figure validation",
+                "",
+                f"**{v.passed} pass / {v.failed} fail / {v.skipped} skipped**",
+                "",
+                "| check | figure | value | band | status |",
+                "|---|---|---:|---|---|",
+            ]
+            for result in v.results:
+                value = "-" if result.value is None else f"{result.value:.3f}"
+                lines.append(
+                    f"| {result.check.title} | {result.check.figure} "
+                    f"| {value} | [{result.check.lo:g}, {result.check.hi:g}] "
+                    f"| {result.status.upper()} |"
+                )
+            lines.append("")
+            for result in v.results:
+                if result.detail:
+                    lines.append(
+                        f"- **{result.check.key}**: {result.detail}"
+                    )
+            lines.append("")
+        if self.diff:
+            lines += ["## Diff vs previous run", "", "```",
+                      self.diff.render(), "```", ""]
+        lines.append(f"_generated {self.generated_at}_")
+        return "\n".join(lines)
+
+    # -- html -----------------------------------------------------------
+
+    _CSS = """
+    body { font-family: -apple-system, 'Segoe UI', Roboto, sans-serif;
+           margin: 2rem auto; max-width: 60rem; color: #1a1a2e; }
+    h1 { font-size: 1.4rem; } h2 { font-size: 1.1rem; margin-top: 1.6rem; }
+    table { border-collapse: collapse; width: 100%; margin: .6rem 0; }
+    th, td { border: 1px solid #d8d8e0; padding: .3rem .6rem;
+             font-size: .85rem; text-align: left; }
+    td.num { text-align: right; font-variant-numeric: tabular-nums; }
+    .pass { background: #e4f5e4; } .fail { background: #fbe2e2; }
+    .skipped { background: #f2f2f4; color: #666; }
+    .muted { color: #666; font-size: .8rem; }
+    code { background: #f2f2f4; padding: .1rem .25rem; border-radius: 3px; }
+    """
+
+    def to_html(self) -> str:
+        esc = html.escape
+
+        def table(headers, body_rows, classes=None) -> list[str]:
+            out = ["<table><tr>"]
+            out += [f"<th>{esc(h)}</th>" for h in headers]
+            out.append("</tr>")
+            for index, cells in enumerate(body_rows):
+                cls = f' class="{classes[index]}"' if classes else ""
+                out.append(f"<tr{cls}>")
+                for cell, numeric in cells:
+                    td = ' class="num"' if numeric else ""
+                    out.append(f"<td{td}>{esc(str(cell))}</td>")
+                out.append("</tr>")
+            out.append("</table>")
+            return out
+
+        parts = [
+            "<!doctype html><html><head><meta charset='utf-8'>",
+            f"<title>{esc(self.title)}</title>",
+            f"<style>{self._CSS}</style></head><body>",
+            f"<h1>{esc(self.title)}</h1>",
+            f"<p class='muted'>{esc(self._summary_line())}</p>",
+        ]
+        if self.run_info:
+            parts.append(
+                "<p class='muted'>ledger run "
+                f"<code>{esc(self.run_info.run_id)}</code> · code "
+                f"<code>{esc(self.run_info.code_version)}</code> · "
+                f"{esc(self.run_info.created_at)}</p>"
+            )
+        if self.rows:
+            parts.append("<h2>Results</h2>")
+            parts += table(
+                ["point", "IPC", "latency", "status"],
+                [
+                    [
+                        (row.label, False),
+                        (f"{row.ipc:.3f}" if row.ipc is not None else "-", True),
+                        (f"{row.latency:.2f}"
+                         if row.latency is not None else "-", True),
+                        ("cache" if row.cached else row.status, False),
+                    ]
+                    for row in self.rows
+                ],
+            )
+        if self.speedups:
+            parts.append("<h2>Speedups (FSOI over mesh, paired)</h2>")
+            parts += table(
+                ["pairing", "speedup"],
+                [
+                    [(name, False), (f"{value:.3f}x", True)]
+                    for name, value in self.speedups.items()
+                ],
+            )
+        if self.validation:
+            v = self.validation
+            parts.append("<h2>Paper-figure validation</h2>")
+            parts.append(
+                f"<p><b>{v.passed} pass / {v.failed} fail / "
+                f"{v.skipped} skipped</b></p>"
+            )
+            parts += table(
+                ["check", "figure", "value", "band", "status", "detail"],
+                [
+                    [
+                        (result.check.title, False),
+                        (result.check.figure, False),
+                        ("-" if result.value is None
+                         else f"{result.value:.3f}", True),
+                        (f"[{result.check.lo:g}, {result.check.hi:g}]", False),
+                        (result.status.upper(), False),
+                        (result.detail, False),
+                    ]
+                    for result in v.results
+                ],
+                classes=[result.status for result in v.results],
+            )
+        if self.diff:
+            parts.append("<h2>Diff vs previous run</h2>")
+            parts.append(f"<pre>{esc(self.diff.render())}</pre>")
+        parts.append(
+            f"<p class='muted'>generated {esc(self.generated_at)}</p>"
+        )
+        parts.append("</body></html>")
+        return "".join(parts) + "\n"
+
+    def write(self, path) -> None:
+        """Write HTML (``.html``/``.htm``) or Markdown by suffix."""
+        text = (
+            self.to_html()
+            if str(path).lower().endswith((".html", ".htm"))
+            else self.to_markdown() + "\n"
+        )
+        with open(path, "w") as handle:
+            handle.write(text)

@@ -22,6 +22,15 @@ Commands
 ``profile --app oc --network fsoi``
     Run one experiment with per-phase wall-time profiling and print
     the cycle-loop attribution table.
+``report [--apps oc] [--out report.html]``
+    Run (or ingest) a sweep, file it in the analytics run ledger,
+    validate it against the paper's figure tolerance bands and render
+    the report (terminal + optional HTML/Markdown) — see
+    docs/analytics.md.
+``bench [--compare]``
+    Run the pinned perf suite, write ``BENCH_<git-sha>.json``, and
+    with ``--compare`` gate it against the previous snapshot (exits
+    non-zero on a regression past the threshold).
 ``thermal [--power W]``
     Evaluate the §3.3 cooling options at a given chip power.
 """
@@ -127,6 +136,118 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--baseline", default="mesh",
         help="network to report paired speedups against (default: mesh)",
+    )
+    sweep.add_argument(
+        "--live", action="store_true",
+        help="single live progress line (counters + ETA + in-flight "
+        "points) instead of one line per completed point",
+    )
+
+    report = sub.add_parser(
+        "report",
+        help="sweep + run ledger + paper-figure validation report",
+    )
+    report.add_argument(
+        "--apps", default="oc",
+        help="comma-separated application labels (e.g. ba,lu,oc,ro)",
+    )
+    report.add_argument(
+        "--networks", default="fsoi,mesh",
+        help=f"comma-separated networks from {','.join(NETWORK_KINDS)}",
+    )
+    report.add_argument(
+        "--nodes", default="16", help="comma-separated node counts"
+    )
+    report.add_argument(
+        "--seeds", default="0", help="comma-separated experiment seeds"
+    )
+    report.add_argument("--cycles", type=int, default=8_000)
+    report.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes (1 = run inline, no subprocesses)",
+    )
+    report.add_argument(
+        "--cache-dir", default=".repro-sweep-cache",
+        help="on-disk result cache directory (default: %(default)s)",
+    )
+    report.add_argument(
+        "--no-cache", action="store_true",
+        help="always recompute; do not read or write the cache",
+    )
+    report.add_argument(
+        "--from", dest="from_jsonl", default=None, metavar="RESULTS.JSONL",
+        help="validate an existing sweep results file instead of "
+        "running a sweep",
+    )
+    report.add_argument(
+        "--metrics-dir", default=None, metavar="DIR",
+        help="per-point metrics-registry archive directory to attach "
+        "to the ledger run",
+    )
+    report.add_argument(
+        "--ledger", default=".repro-ledger.sqlite", metavar="LEDGER.SQLITE",
+        help="run-ledger SQLite path; pass '' to skip ingestion "
+        "(default: %(default)s)",
+    )
+    report.add_argument(
+        "--label", default="", help="free-form label filed with the run"
+    )
+    report.add_argument(
+        "--diff", action="store_true",
+        help="also diff this run against the previous run in the ledger",
+    )
+    report.add_argument(
+        "--out", default=None, metavar="REPORT.{HTML,MD}",
+        help="also write the report as self-contained HTML (.html/.htm) "
+        "or Markdown (any other suffix)",
+    )
+    report.add_argument(
+        "--live", action="store_true",
+        help="live progress line while the sweep runs",
+    )
+
+    bench = sub.add_parser(
+        "bench", help="pinned perf suite + regression gate"
+    )
+    bench.add_argument(
+        "--micro-cycles", type=int, default=None,
+        help="cycles per micro profile run (default: the pinned suite's)",
+    )
+    bench.add_argument(
+        "--macro-cycles", type=int, default=None,
+        help="cycles per macro sweep point (default: the pinned suite's)",
+    )
+    bench.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for the macro sweep",
+    )
+    bench.add_argument(
+        "--root", default=".", metavar="DIR",
+        help="directory holding BENCH_<sha>.json snapshots "
+        "(default: %(default)s)",
+    )
+    bench.add_argument(
+        "--no-write", action="store_true",
+        help="do not write the fresh snapshot to --root",
+    )
+    bench.add_argument(
+        "--snapshot", default=None, metavar="BENCH.JSON",
+        help="load this snapshot as the current measurement instead of "
+        "running the suite (for re-checking a gate offline)",
+    )
+    bench.add_argument(
+        "--compare", action="store_true",
+        help="gate against a previous snapshot; exit 1 on regression",
+    )
+    bench.add_argument(
+        "--against", default=None, metavar="BENCH.JSON",
+        help="baseline snapshot for --compare (default: the most recent "
+        "other snapshot in --root)",
+    )
+    bench.add_argument(
+        "--threshold", type=float, default=0.20,
+        help="relative slowdown that counts as a regression "
+        "(default: %(default)s)",
     )
 
     def add_run_args(parser_) -> None:
@@ -347,14 +468,23 @@ def _cmd_sweep(args) -> int:
             cycles=args.cycles,
             optimizations=optimizations,
         )
+    from repro.analytics import SweepTelemetry
+
     points = spec.points()
     print(f"sweep: {len(points)} points, {args.workers} worker(s), "
           f"cache {'off' if args.no_cache else args.cache_dir}")
+    telemetry = SweepTelemetry(
+        total=len(points), workers=args.workers, live=args.live
+    )
 
     def progress(done, total, outcome):
-        tag = "cache" if outcome.cached else outcome.status
-        print(f"  [{done:>{len(str(total))}}/{total}] "
-              f"{outcome.point.label():<28} {tag}")
+        telemetry.on_progress(done, total, outcome)
+        if not args.live:
+            tag = "cache" if outcome.cached else outcome.status
+            print(f"  [{done:>{len(str(total))}}/{total}] "
+                  f"{outcome.point.label():<28} {tag:<7} "
+                  f"(cache {telemetry.from_cache}, "
+                  f"failed {telemetry.failed})")
 
     report = run_sweep(
         spec,
@@ -364,7 +494,9 @@ def _cmd_sweep(args) -> int:
         jsonl_path=args.out,
         metrics_path=args.metrics_dir,
         progress=progress,
+        heartbeat=telemetry.on_heartbeat if args.live else None,
     )
+    telemetry.close()
 
     print(f"done in {report.wall_seconds:.1f}s: {report.executed} executed, "
           f"{report.from_cache} from cache, {report.failed} failed")
@@ -388,6 +520,185 @@ def _cmd_sweep(args) -> int:
     if report.jsonl_path:
         print(f"  results: {report.jsonl_path}")
     return 1 if report.failed else 0
+
+
+def _report_rows(records) -> "list":
+    """ResultRow list from (label, status, cached, result, error) tuples."""
+    from repro.analytics import ResultRow
+
+    rows = []
+    for label, status, cached, result, error in records:
+        ipc = latency = None
+        if result is not None:
+            cycles = result.get("cycles", 0)
+            ipc = result["instructions"] / cycles if cycles else 0.0
+            latency = result["latency_breakdown"]["total"]
+        rows.append(ResultRow(
+            label=label, status=status, cached=cached,
+            ipc=ipc, latency=latency, error=error,
+        ))
+    return rows
+
+
+def _cmd_report(args) -> int:
+    import math
+
+    from repro.analytics import (
+        ReportBundle,
+        RunStore,
+        SweepTelemetry,
+        validate,
+    )
+    from repro.analytics.validation import RunContext
+    from repro.sweep import SweepPoint, SweepSpec, load_jsonl, run_sweep
+
+    sweep_report = None
+    if args.from_jsonl:
+        records = load_jsonl(args.from_jsonl, strict=False)
+        rows = _report_rows(
+            (
+                SweepPoint.from_dict(rec["point"]).label(),
+                rec["status"],
+                False,
+                rec.get("result"),
+                rec.get("error"),
+            )
+            for rec in records
+        )
+        context = RunContext(tuple(
+            (rec["point"], rec["result"]) for rec in records
+            if rec.get("status") == "ok" and rec.get("result") is not None
+        ))
+        title = f"repro report — {args.from_jsonl}"
+        wall = 0.0
+    else:
+        spec = SweepSpec(
+            apps=tuple(_csv(args.apps)),
+            networks=tuple(_csv(args.networks)),
+            nodes=tuple(int(n) for n in _csv(args.nodes)),
+            seeds=tuple(int(s) for s in _csv(args.seeds)),
+            cycles=args.cycles,
+        )
+        points = spec.points()
+        print(f"report: sweeping {len(points)} points, "
+              f"{args.workers} worker(s)")
+        telemetry = SweepTelemetry(
+            total=len(points), workers=args.workers, live=args.live
+        )
+        sweep_report = run_sweep(
+            spec,
+            workers=args.workers,
+            cache_dir=None if args.no_cache else args.cache_dir,
+            metrics_path=args.metrics_dir,
+            progress=telemetry.on_progress,
+            heartbeat=telemetry.on_heartbeat if args.live else None,
+        )
+        telemetry.close()
+        rows = _report_rows(
+            (
+                outcome.point.label(),
+                outcome.status,
+                outcome.cached,
+                outcome.result,
+                outcome.error,
+            )
+            for outcome in sweep_report.outcomes
+        )
+        context = RunContext.from_outcomes(sweep_report.outcomes)
+        title = (
+            f"repro report — {args.apps} on {args.networks}, "
+            f"{args.nodes} nodes, {args.cycles} cycles"
+        )
+        wall = sweep_report.wall_seconds
+
+    run_info = diff = None
+    if args.ledger:
+        with RunStore(args.ledger) as store:
+            if sweep_report is not None:
+                run_info = store.ingest_report(
+                    sweep_report, label=args.label,
+                    metrics_dir=args.metrics_dir,
+                )
+            else:
+                run_info = store.ingest_jsonl(
+                    args.from_jsonl, label=args.label,
+                    metrics_dir=args.metrics_dir,
+                )
+            if args.diff:
+                older = [
+                    run for run in store.runs()
+                    if run.run_id != run_info.run_id
+                ]
+                if older:
+                    diff = store.diff(older[0].run_id, run_info.run_id)
+                else:
+                    print("report: --diff requested but the ledger holds "
+                          "no other run")
+
+    speedups = {}
+    for nodes in sorted({p["num_nodes"] for p, _ in context.pairs}):
+        ratios = context.paired_speedups(nodes=nodes)
+        if ratios:
+            gmean = math.exp(sum(math.log(r) for r in ratios) / len(ratios))
+            speedups[f"{nodes} nodes"] = gmean
+
+    bundle = ReportBundle(
+        title=title,
+        rows=rows,
+        validation=validate(context),
+        run_info=run_info,
+        diff=diff,
+        speedups=speedups,
+        wall_seconds=wall,
+    )
+    print(bundle.to_terminal())
+    if args.out:
+        bundle.write(args.out)
+        print(f"report written to {args.out}")
+    failed_points = sum(1 for row in rows if row.status != "ok")
+    return 1 if (not bundle.validation.ok or failed_points) else 0
+
+
+def _cmd_bench(args) -> int:
+    from repro.analytics import (
+        compare_snapshots,
+        load_snapshot,
+        previous_snapshot,
+        run_bench,
+    )
+    from repro.analytics.bench import MACRO_CYCLES, MICRO_CYCLES
+
+    if args.snapshot:
+        current = load_snapshot(args.snapshot)
+        print(f"bench: loaded snapshot {args.snapshot} (sha {current.sha})")
+    else:
+        micro = args.micro_cycles or MICRO_CYCLES
+        macro = args.macro_cycles or MACRO_CYCLES
+        print(f"bench: running pinned suite (micro {micro} cycles, "
+              f"macro {macro} cycles, {args.workers} worker(s))")
+        current = run_bench(
+            micro_cycles=micro, macro_cycles=macro, workers=args.workers
+        )
+        for metric, value in sorted(current.metrics.items()):
+            print(f"  {metric:<38} {value:>12.4g}")
+        if not args.no_write:
+            path = current.write(args.root)
+            print(f"  snapshot -> {path}")
+
+    if not args.compare:
+        return 0
+    if args.against:
+        previous = load_snapshot(args.against)
+    else:
+        previous = previous_snapshot(args.root, exclude_sha=current.sha)
+    if previous is None:
+        print("bench: no previous snapshot to compare against")
+        return 0
+    comparison = compare_snapshots(
+        current, previous, threshold=args.threshold
+    )
+    print(comparison.render())
+    return 0 if comparison.ok else 1
 
 
 def _traced_config(args) -> "CmpConfig":
@@ -604,6 +915,10 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_compare(args)
         if args.command == "sweep":
             return _cmd_sweep(args)
+        if args.command == "report":
+            return _cmd_report(args)
+        if args.command == "bench":
+            return _cmd_bench(args)
         if args.command == "trace":
             return _cmd_trace(args)
         if args.command == "profile":

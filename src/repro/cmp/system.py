@@ -631,6 +631,12 @@ class CmpSystem:
                 "meta_collisions_per_node_slot": (
                     self.network.collision_events_per_node_slot(LaneKind.META)
                 ),
+                "meta_resolution_delay": (
+                    self.network.mean_resolution_delay(LaneKind.META)
+                ),
+                "data_resolution_delay": (
+                    self.network.mean_resolution_delay(LaneKind.DATA)
+                ),
                 "data_collision_breakdown": self.network.data_collision_breakdown(),
                 "hints": self.network.hint_summary(),
                 "confirmations": self.network.confirmations.confirmations_sent,

@@ -299,6 +299,19 @@ class FaultPlan:
             )
         return cls(**kwargs)
 
+    def ledger_label(self) -> str:
+        """The label under which runs with this plan are filed.
+
+        The analytics run ledger (:class:`repro.analytics.RunStore`)
+        groups and filters points by fault plan; an unlabelled but
+        non-empty plan falls back to its content hash so two distinct
+        anonymous schedules never alias, and the empty plan files under
+        ``""`` (fault-free).
+        """
+        if self.label:
+            return self.label
+        return "" if self.is_empty() else self.content_hash()
+
     def content_hash(self) -> str:
         """Stable short hash of the schedule (cache keys, labels, docs)."""
         payload = json.dumps(

@@ -137,9 +137,14 @@ class MetricsRegistry:
     def write(self, path) -> None:
         """Write the snapshot to ``path``; format chosen by suffix.
 
-        ``.csv`` writes the flat table, anything else canonical JSON.
+        ``.csv`` (matched case-insensitively, so ``.CSV``/``.Csv`` work
+        too) writes the flat table, anything else canonical JSON.
+        Before the case-insensitive dispatch, an upper-cased ``.CSV``
+        silently fell through to JSON — with the old behaviour a
+        ``metrics.CSV`` file held a JSON document.
         """
-        text = self.to_csv() if str(path).endswith(".csv") else self.to_json(indent=1)
+        is_csv = str(path).lower().endswith(".csv")
+        text = self.to_csv() if is_csv else self.to_json(indent=1)
         with open(path, "w") as handle:
             handle.write(text)
 

@@ -28,6 +28,7 @@ from repro.sweep.cache import ResultCache, code_version, point_key
 from repro.sweep.runner import (
     PointOutcome,
     PointTimeout,
+    SweepHeartbeat,
     SweepReport,
     execute_point,
     load_jsonl,
@@ -46,6 +47,7 @@ __all__ = [
     "PointOutcome",
     "PointTimeout",
     "ResultCache",
+    "SweepHeartbeat",
     "SweepPoint",
     "SweepReport",
     "SweepSpec",

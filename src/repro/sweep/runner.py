@@ -44,6 +44,7 @@ from repro.sweep.spec import SweepPoint, SweepSpec, canonical_json
 __all__ = [
     "PointOutcome",
     "PointTimeout",
+    "SweepHeartbeat",
     "SweepReport",
     "execute_point",
     "load_jsonl",
@@ -120,6 +121,27 @@ def _worker(
         if use_alarm:
             signal.setitimer(signal.ITIMER_REAL, 0.0)
             signal.signal(signal.SIGALRM, previous)
+
+
+@dataclass(frozen=True)
+class SweepHeartbeat:
+    """A periodic liveness pulse from :func:`run_sweep`.
+
+    Emitted between point completions (every ``heartbeat_interval``
+    seconds in the pool path; before each point inline), so a live
+    display can show progress even while every worker is deep inside a
+    long point.  ``in_flight`` holds the labels of the points most
+    likely occupying workers right now: the pool executes submissions
+    in index order, so the lowest-index unfinished points are the ones
+    on CPUs (an approximation — the pool does not expose true
+    per-worker assignment).
+    """
+
+    elapsed: float
+    done: int
+    total: int
+    in_flight: tuple[str, ...]
+    workers: int
 
 
 @dataclass
@@ -273,14 +295,30 @@ class _OrderedJsonlWriter:
             self._handle = None
 
 
-def load_jsonl(path) -> list[dict]:
-    """Read back a results file written by :func:`run_sweep`."""
+def load_jsonl(path, *, strict: bool = True) -> list[dict]:
+    """Read back a results file written by :func:`run_sweep`.
+
+    With ``strict=True`` (the default) a malformed line raises
+    ``ValueError`` naming the line number.  ``strict=False`` skips
+    corrupt or truncated lines — an interrupted sweep leaves at most a
+    truncated final record behind, and cross-run ingestion (the
+    analytics ledger) wants the surviving records rather than nothing.
+    """
     records = []
     with open(path) as handle:
-        for line in handle:
+        for number, line in enumerate(handle, start=1):
             line = line.strip()
-            if line:
-                records.append(json.loads(line))
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                if strict:
+                    raise ValueError(
+                        f"{path}:{number}: corrupt JSONL record: {exc}"
+                    ) from exc
+                continue
+            records.append(record)
     return records
 
 
@@ -296,6 +334,8 @@ def run_sweep(
     code_version: Optional[str] = None,
     execute: Callable[[dict], dict] = execute_point,
     progress: Optional[Callable[[int, int, PointOutcome], None]] = None,
+    heartbeat: Optional[Callable[[SweepHeartbeat], None]] = None,
+    heartbeat_interval: float = 1.0,
     max_crash_retries: int = 1,
 ) -> SweepReport:
     """Run every point of ``spec``; returns a :class:`SweepReport`.
@@ -328,6 +368,12 @@ def run_sweep(
         picklable (module-level) when ``workers > 1``.
     progress:
         Called as ``progress(done, total, outcome)`` after each point.
+    heartbeat:
+        Called with a :class:`SweepHeartbeat` between completions —
+        every ``heartbeat_interval`` seconds while worker processes are
+        busy, and before each point inline — so a live display (the
+        CLI's ``--live`` line, :class:`repro.analytics.SweepTelemetry`)
+        stays fresh during long points.
     max_crash_retries:
         How often a point may be retried after its worker process died
         before it is marked failed.
@@ -352,6 +398,16 @@ def run_sweep(
         if progress is not None:
             progress(done_count, len(points), outcome)
 
+    def beat(in_flight: Sequence[str]) -> None:
+        if heartbeat is not None:
+            heartbeat(SweepHeartbeat(
+                elapsed=time.perf_counter() - started,
+                done=done_count,
+                total=len(points),
+                in_flight=tuple(in_flight),
+                workers=max(1, workers),
+            ))
+
     try:
         pending: list[int] = []
         for index, point in enumerate(points):
@@ -366,11 +422,14 @@ def run_sweep(
 
         if workers <= 1:
             for index in pending:
+                beat((points[index].label(),))
                 finish(index, _run_inline(points[index], timeout, execute,
                                           cache, code_version))
         else:
             _run_pool(points, pending, workers, timeout, execute, cache,
-                      code_version, max_crash_retries, finish)
+                      code_version, max_crash_retries, finish,
+                      beat if heartbeat is not None else None,
+                      heartbeat_interval)
     finally:
         writer.close()
 
@@ -417,12 +476,15 @@ def _run_inline(point, timeout, execute, cache, code_version) -> PointOutcome:
 
 def _run_pool(
     points, pending, workers, timeout, execute, cache, code_version,
-    max_crash_retries, finish,
+    max_crash_retries, finish, beat=None, beat_interval: float = 1.0,
 ) -> None:
     """Fan ``pending`` point indices over a process pool.
 
     The pool is rebuilt whenever a worker dies; affected points are
     retried up to ``max_crash_retries`` times, then marked failed.
+    With ``beat`` set, the completion wait wakes up every
+    ``beat_interval`` seconds to emit a heartbeat naming the
+    lowest-index in-flight points (the ones occupying workers).
     """
     crash_counts: dict[int, int] = {}
     while pending:
@@ -435,7 +497,14 @@ def _run_pool(
             }
             not_done = set(futures)
             while not_done:
-                done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
+                if beat is not None:
+                    running = sorted(futures[f] for f in not_done)[:workers]
+                    beat([points[i].label() for i in running])
+                done, not_done = wait(
+                    not_done,
+                    timeout=beat_interval if beat is not None else None,
+                    return_when=FIRST_COMPLETED,
+                )
                 for future in done:
                     index = futures[future]
                     point = points[index]

@@ -1,0 +1,21 @@
+"""Shared fixtures for the analytics tests.
+
+``small_report`` is one real fsoi-vs-mesh sweep, run once per session:
+the ledger, validation and report tests all consume it read-only, so
+there is no reason to pay for the simulation more than once.
+"""
+
+import pytest
+
+from repro.sweep import SweepSpec, run_sweep
+
+SMALL_CYCLES = 2_500
+
+
+@pytest.fixture(scope="session")
+def small_report():
+    spec = SweepSpec(apps=("oc",), networks=("fsoi", "mesh"),
+                     cycles=SMALL_CYCLES)
+    report = run_sweep(spec, workers=1)
+    assert report.failed == 0
+    return report

@@ -1,0 +1,124 @@
+"""Bench snapshots and the regression gate's direction/threshold logic."""
+
+import json
+
+import pytest
+
+from repro.analytics import (
+    BenchSnapshot,
+    compare_snapshots,
+    git_sha,
+    load_snapshot,
+    previous_snapshot,
+    run_bench,
+    snapshot_path,
+)
+
+
+def _snapshot(sha="abc", created_at="2026-01-01T00:00:00+00:00", **metrics):
+    return BenchSnapshot(
+        sha=sha, code_version="v1", created_at=created_at,
+        python="3.x", metrics=metrics,
+    )
+
+
+class TestSnapshotFiles:
+    def test_write_load_roundtrip(self, tmp_path):
+        snap = _snapshot(**{"sweep.cold_seconds": 1.5,
+                            "profile.fsoi.cycles_per_sec": 900.0})
+        path = snap.write(tmp_path)
+        assert path == snapshot_path(tmp_path, "abc")
+        loaded = load_snapshot(path)
+        assert loaded.sha == snap.sha
+        assert loaded.metrics == snap.metrics
+
+    def test_previous_snapshot_picks_latest_and_excludes_self(self, tmp_path):
+        _snapshot(sha="old", created_at="2026-01-01T00:00:00+00:00",
+                  x_seconds=1.0).write(tmp_path)
+        _snapshot(sha="new", created_at="2026-02-01T00:00:00+00:00",
+                  x_seconds=2.0).write(tmp_path)
+        assert previous_snapshot(tmp_path).sha == "new"
+        assert previous_snapshot(tmp_path, exclude_sha="new").sha == "old"
+
+    def test_previous_snapshot_ignores_corrupt_files(self, tmp_path):
+        (tmp_path / "BENCH_junk.json").write_text("{not json")
+        assert previous_snapshot(tmp_path) is None
+        _snapshot(sha="ok").write(tmp_path)
+        assert previous_snapshot(tmp_path).sha == "ok"
+
+    def test_git_sha_is_nonempty(self):
+        assert git_sha()
+
+
+class TestCompareDirections:
+    def test_slower_seconds_regress(self):
+        previous = _snapshot(**{"sweep.cold_seconds": 1.0})
+        current = _snapshot(sha="b", **{"sweep.cold_seconds": 1.5})
+        comparison = compare_snapshots(current, previous, threshold=0.20)
+        assert not comparison.ok
+        (row,) = comparison.regressions
+        assert row.relative == pytest.approx(0.5)
+
+    def test_faster_seconds_never_regress(self):
+        previous = _snapshot(**{"sweep.cold_seconds": 1.0,
+                                "profile.fsoi.net.us_per_cycle": 10.0})
+        current = _snapshot(sha="b", **{"sweep.cold_seconds": 0.1,
+                                        "profile.fsoi.net.us_per_cycle": 1.0})
+        assert compare_snapshots(current, previous).ok
+
+    def test_lower_throughput_regresses(self):
+        previous = _snapshot(**{"profile.fsoi.cycles_per_sec": 1000.0,
+                                "sweep.cache_hit_rate": 1.0})
+        current = _snapshot(sha="b",
+                            **{"profile.fsoi.cycles_per_sec": 500.0,
+                               "sweep.cache_hit_rate": 0.5})
+        comparison = compare_snapshots(current, previous)
+        assert {row.metric for row in comparison.regressions} == {
+            "profile.fsoi.cycles_per_sec", "sweep.cache_hit_rate",
+        }
+
+    def test_threshold_is_strict(self):
+        previous = _snapshot(**{"sweep.cold_seconds": 1.0})
+        at_threshold = _snapshot(sha="b", **{"sweep.cold_seconds": 1.2})
+        past = _snapshot(sha="c", **{"sweep.cold_seconds": 1.21})
+        assert compare_snapshots(at_threshold, previous, threshold=0.2).ok
+        assert not compare_snapshots(past, previous, threshold=0.2).ok
+
+    def test_only_shared_metrics_compare(self):
+        previous = _snapshot(**{"sweep.cold_seconds": 1.0,
+                                "gone_seconds": 9.0})
+        current = _snapshot(sha="b", **{"sweep.cold_seconds": 1.0,
+                                        "fresh_seconds": 1.0})
+        comparison = compare_snapshots(current, previous)
+        assert [row.metric for row in comparison.rows] \
+            == ["sweep.cold_seconds"]
+        assert "gone_seconds" in comparison.render()
+
+    def test_bad_threshold_raises(self):
+        snap = _snapshot(**{"sweep.cold_seconds": 1.0})
+        with pytest.raises(ValueError):
+            compare_snapshots(snap, snap, threshold=0.0)
+
+    def test_render_marks_regressions(self):
+        previous = _snapshot(**{"sweep.cold_seconds": 1.0})
+        current = _snapshot(sha="b", **{"sweep.cold_seconds": 2.0})
+        text = compare_snapshots(current, previous).render()
+        assert "REGRESSED" in text
+        assert "FAIL: 1 metric(s) regressed" in text
+
+
+class TestRunBench:
+    def test_tiny_suite_produces_all_metric_families(self, tmp_path):
+        snap = run_bench(micro_cycles=150, macro_cycles=100, sha="test")
+        metrics = snap.metrics
+        assert metrics["sweep.cache_hit_rate"] == 1.0
+        assert metrics["sweep.cold_seconds"] > 0
+        assert metrics["sweep.warm_seconds"] > 0
+        assert metrics["suite.total_seconds"] > 0
+        for network in ("fsoi", "mesh"):
+            assert metrics[f"profile.{network}.cycles_per_sec"] > 0
+            assert metrics[f"profile.{network}.network.us_per_cycle"] > 0
+        path = snap.write(tmp_path)
+        assert json.loads(path.read_text())["sha"] == "test"
+        # Identical snapshots always pass their own gate.
+        assert compare_snapshots(snap, load_snapshot(path)).ok

@@ -1,0 +1,154 @@
+"""The ``repro report`` / ``repro bench`` / ``repro sweep --live`` CLI."""
+
+import json
+
+from repro.analytics import BenchSnapshot
+from repro.cli import build_parser, main
+
+
+def _write_jsonl(report, path):
+    with open(path, "w") as handle:
+        for index, outcome in enumerate(report.outcomes):
+            handle.write(json.dumps(outcome.record(index)) + "\n")
+    return path
+
+
+def _write_snapshot(path, sha="base", scale=1.0):
+    snap = BenchSnapshot(
+        sha=sha, code_version="v1",
+        created_at="2026-01-01T00:00:00+00:00", python="3.x",
+        metrics={
+            "sweep.cold_seconds": 1.0 * scale,
+            "profile.fsoi.cycles_per_sec": 1000.0 / scale,
+        },
+    )
+    path.write_text(json.dumps(snap.to_dict()))
+    return path
+
+
+class TestReportCli:
+    def test_from_jsonl_validates_and_writes_html(
+        self, small_report, tmp_path, capsys
+    ):
+        jsonl = _write_jsonl(small_report, tmp_path / "results.jsonl")
+        out = tmp_path / "report.html"
+        code = main([
+            "report", "--from", str(jsonl),
+            "--ledger", str(tmp_path / "ledger.sqlite"),
+            "--out", str(out),
+        ])
+        printed = capsys.readouterr().out
+        assert code == 0
+        assert "paper-figure validation: 5 pass, 0 fail, 2 skipped" in printed
+        assert "ledger run" in printed
+        assert out.read_text().startswith("<!doctype html>")
+
+    def test_diff_with_empty_ledger_explains_itself(
+        self, small_report, tmp_path, capsys
+    ):
+        jsonl = _write_jsonl(small_report, tmp_path / "results.jsonl")
+        code = main([
+            "report", "--from", str(jsonl),
+            "--ledger", str(tmp_path / "ledger.sqlite"), "--diff",
+        ])
+        assert code == 0
+        assert "no other run" in capsys.readouterr().out
+
+    def test_empty_ledger_flag_skips_ingestion(
+        self, small_report, tmp_path, capsys
+    ):
+        jsonl = _write_jsonl(small_report, tmp_path / "results.jsonl")
+        assert main(["report", "--from", str(jsonl), "--ledger", ""]) == 0
+        printed = capsys.readouterr().out
+        assert "ledger run" not in printed
+        assert not list(tmp_path.glob("*.sqlite"))
+
+    def test_fresh_sweep_end_to_end(self, tmp_path, capsys):
+        code = main([
+            "report", "--cycles", "2500",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--ledger", str(tmp_path / "ledger.sqlite"),
+        ])
+        printed = capsys.readouterr().out
+        assert code == 0
+        assert "FSOI speedup over mesh" in printed
+        assert "[PASS] Figure 3" in printed
+        assert "[PASS] Figure 4" in printed
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["report"])
+        assert args.networks == "fsoi,mesh"
+        assert args.nodes == "16"
+        assert args.cycles == 8_000
+        assert args.ledger == ".repro-ledger.sqlite"
+
+
+class TestBenchCli:
+    def test_doctored_slowdown_fails_the_gate(self, tmp_path, capsys):
+        base = _write_snapshot(tmp_path / "base.json", sha="base")
+        slow = _write_snapshot(tmp_path / "slow.json", sha="slow", scale=1.5)
+        code = main([
+            "bench", "--snapshot", str(slow),
+            "--compare", "--against", str(base),
+        ])
+        printed = capsys.readouterr().out
+        assert code == 1
+        assert "REGRESSED" in printed
+        assert "FAIL" in printed
+
+    def test_identical_snapshots_pass(self, tmp_path, capsys):
+        base = _write_snapshot(tmp_path / "base.json")
+        code = main([
+            "bench", "--snapshot", str(base),
+            "--compare", "--against", str(base),
+        ])
+        assert code == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_threshold_flag_tightens_the_gate(self, tmp_path, capsys):
+        base = _write_snapshot(tmp_path / "base.json", sha="base")
+        slow = _write_snapshot(tmp_path / "slow.json", sha="slow", scale=1.1)
+        args = ["bench", "--snapshot", str(slow),
+                "--compare", "--against", str(base)]
+        assert main(args) == 0
+        assert main(args + ["--threshold", "0.05"]) == 1
+        capsys.readouterr()
+
+    def test_compare_without_baseline_is_not_an_error(
+        self, tmp_path, capsys
+    ):
+        snap = _write_snapshot(tmp_path / "only.json")
+        code = main([
+            "bench", "--snapshot", str(snap), "--compare",
+            "--root", str(tmp_path / "empty"),
+        ])
+        assert code == 0
+        assert "no previous snapshot" in capsys.readouterr().out
+
+    def test_tiny_real_suite_writes_snapshot(self, tmp_path, capsys):
+        code = main([
+            "bench", "--micro-cycles", "100", "--macro-cycles", "100",
+            "--root", str(tmp_path),
+        ])
+        assert code == 0
+        (path,) = tmp_path.glob("BENCH_*.json")
+        snapshot = json.loads(path.read_text())
+        assert snapshot["metrics"]["sweep.cache_hit_rate"] == 1.0
+        assert "snapshot ->" in capsys.readouterr().out
+
+
+class TestSweepLive:
+    ARGS = ["sweep", "--apps", "ba", "--networks", "fsoi",
+            "--cycles", "300", "--no-cache"]
+
+    def test_live_replaces_per_point_lines(self, capsys):
+        assert main(self.ARGS + ["--live"]) == 0
+        printed = capsys.readouterr().out
+        assert "eta" in printed
+        assert "\r" in printed
+        assert "] ba/fsoi" not in printed  # no per-point lines
+
+    def test_default_lines_carry_cache_and_failure_counts(self, capsys):
+        assert main(self.ARGS) == 0
+        printed = capsys.readouterr().out
+        assert "(cache 0, failed 0)" in printed

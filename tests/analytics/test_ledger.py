@@ -1,0 +1,182 @@
+"""The run ledger: ingestion, identity, selection, diffing."""
+
+import json
+
+import pytest
+
+from repro.analytics import RunStore
+from repro.faults import FaultPlan, LaneFault
+from repro.sweep import SweepSpec, make_point, run_sweep
+
+
+def _fake_execute(point_dict):
+    return {
+        "app": point_dict["app"],
+        "network": point_dict["network"],
+        "num_nodes": point_dict["num_nodes"],
+        "cycles": point_dict["cycles"],
+        "seed": point_dict["seed"],
+        "instructions": 1000 * (1 + point_dict["seed"]),
+        "packets_delivered": 50,
+        "latency_breakdown": {"total": 10.0},
+    }
+
+
+class TestIngestReport:
+    def test_roundtrip_preserves_results_and_timing(
+        self, small_report, tmp_path
+    ):
+        with RunStore(tmp_path / "ledger.sqlite") as store:
+            info = store.ingest_report(small_report, label="smoke")
+            assert info.points == 2
+            assert info.label == "smoke"
+            points = store.select(info.run_id)
+        assert len(points) == 2
+        by_network = {p.network: p for p in points}
+        assert set(by_network) == {"fsoi", "mesh"}
+        for point in points:
+            assert point.ok
+            assert point.result["instructions"] > 0
+            assert point.elapsed > 0.0  # live reports keep timings
+
+    def test_reingest_is_idempotent(self, small_report, tmp_path):
+        with RunStore(tmp_path / "ledger.sqlite") as store:
+            first = store.ingest_report(small_report)
+            second = store.ingest_report(small_report)
+            assert first.run_id == second.run_id
+            assert len(store.runs()) == 1
+            assert len(store.select()) == 2
+
+    def test_run_lookup(self, small_report, tmp_path):
+        with RunStore(tmp_path / "ledger.sqlite") as store:
+            info = store.ingest_report(small_report)
+            assert store.run(info.run_id).points == 2
+            with pytest.raises(KeyError):
+                store.run("nope")
+
+
+class TestIngestJsonl:
+    def test_jsonl_and_metrics_archive(self, tmp_path):
+        spec = SweepSpec(apps=("ba",), networks=("fsoi",), cycles=300)
+        jsonl = tmp_path / "results.jsonl"
+        metrics_dir = tmp_path / "metrics"
+        run_sweep(spec, workers=1, jsonl_path=jsonl,
+                  metrics_path=metrics_dir)
+        with RunStore(tmp_path / "ledger.sqlite") as store:
+            info = store.ingest_jsonl(jsonl, metrics_dir=metrics_dir)
+            (point,) = store.select(info.run_id)
+        assert point.metrics is not None
+        assert point.metrics["run"]["cycles"] == 300
+
+    def test_corrupt_lines_are_skipped(self, tmp_path):
+        spec = SweepSpec(apps=("ba", "lu"), networks=("fsoi",), cycles=300)
+        jsonl = tmp_path / "results.jsonl"
+        run_sweep(spec, workers=1, jsonl_path=jsonl)
+        with open(jsonl, "a") as handle:
+            handle.write('{"index": 99, "truncat')  # interrupted write
+        with RunStore(tmp_path / "ledger.sqlite") as store:
+            info = store.ingest_jsonl(jsonl)
+            assert info.points == 2
+
+
+class TestSelect:
+    def test_filters_and_aliases(self, tmp_path):
+        points = [
+            make_point("ba", "fsoi", num_nodes=16, seed=0, cycles=100),
+            make_point("ba", "mesh", num_nodes=16, seed=0, cycles=100),
+            make_point("lu", "fsoi", num_nodes=64, seed=1, cycles=100),
+        ]
+        report = run_sweep(points, workers=1, execute=_fake_execute)
+        with RunStore(tmp_path / "ledger.sqlite") as store:
+            store.ingest_report(report)
+            assert len(store.select(network="fsoi")) == 2
+            assert len(store.select(network="fsoi", nodes=16)) == 1
+            assert len(store.select(app="lu", seed=1)) == 1
+            assert len(store.select(status="ok")) == 3
+            with pytest.raises(ValueError, match="unknown filter"):
+                store.select(nope=1)
+
+    def test_fault_plans_file_under_ledger_label(self, tmp_path):
+        plan = FaultPlan(
+            label="kill-3",
+            lane_faults=(LaneFault(node=3, lane="meta"),),
+        )
+        anonymous = FaultPlan(
+            lane_faults=(LaneFault(node=4, lane="meta"),),
+        )
+        points = [
+            make_point("ba", "fsoi", cycles=100),
+            make_point("ba", "fsoi", cycles=100, faults=plan),
+            make_point("ba", "fsoi", cycles=100, faults=anonymous),
+        ]
+        report = run_sweep(points, workers=1, execute=_fake_execute)
+        with RunStore(tmp_path / "ledger.sqlite") as store:
+            store.ingest_report(report)
+            assert len(store.select(faults="kill-3")) == 1
+            assert len(store.select(faults="")) == 1  # fault-free
+            anon = store.select(faults=anonymous.ledger_label())
+            assert len(anon) == 1
+            assert anon[0].faults_label == anonymous.content_hash()
+
+
+class TestDiff:
+    def test_paired_metric_deltas(self, tmp_path):
+        points = [
+            make_point("ba", "fsoi", seed=0, cycles=100),
+            make_point("ba", "mesh", seed=0, cycles=100),
+        ]
+        fast = run_sweep(points, workers=1, execute=_fake_execute)
+
+        def slower(point_dict):
+            result = _fake_execute(point_dict)
+            result["instructions"] //= 2
+            return result
+
+        slow = run_sweep(points, workers=1, execute=slower)
+        with RunStore(tmp_path / "ledger.sqlite") as store:
+            a = store.ingest_report(fast, code_version="va")
+            b = store.ingest_report(slow, code_version="vb")
+            assert a.run_id != b.run_id
+            diff = store.diff(a.run_id, b.run_id)
+        ipc_rows = [row for row in diff.rows if row.metric == "ipc"]
+        assert len(ipc_rows) == 2
+        assert all(row.relative == pytest.approx(-0.5) for row in ipc_rows)
+        assert not diff.only_a and not diff.only_b
+        rendered = diff.render(rel_threshold=0.01)
+        assert "ipc" in rendered and "-50.0%" in rendered
+
+    def test_unshared_points_are_reported(self, tmp_path):
+        a_points = [make_point("ba", "fsoi", cycles=100)]
+        b_points = [make_point("lu", "fsoi", cycles=100)]
+        with RunStore(tmp_path / "ledger.sqlite") as store:
+            a = store.ingest_report(
+                run_sweep(a_points, workers=1, execute=_fake_execute),
+                code_version="va",
+            )
+            b = store.ingest_report(
+                run_sweep(b_points, workers=1, execute=_fake_execute),
+                code_version="vb",
+            )
+            diff = store.diff(a.run_id, b.run_id)
+        assert not diff.rows
+        assert diff.only_a == ("ba/fsoi/n16/s0",)
+        assert diff.only_b == ("lu/fsoi/n16/s0",)
+
+
+class TestOnDisk:
+    def test_store_survives_reopen(self, small_report, tmp_path):
+        path = tmp_path / "ledger.sqlite"
+        with RunStore(path) as store:
+            info = store.ingest_report(small_report)
+        with RunStore(path) as store:
+            assert store.run(info.run_id).points == 2
+            assert len(store.select(network="fsoi")) == 1
+
+    def test_point_rows_store_canonical_json(self, small_report, tmp_path):
+        with RunStore(tmp_path / "ledger.sqlite") as store:
+            info = store.ingest_report(small_report)
+            (fsoi,) = store.select(info.run_id, network="fsoi")
+        # Round-trips through SQLite as plain JSON documents.
+        assert json.dumps(fsoi.point)  # serializable
+        assert fsoi.sweep_point().network == "fsoi"
+        assert fsoi.label() == "oc/fsoi/n16/s0"

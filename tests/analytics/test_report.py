@@ -1,0 +1,88 @@
+"""ReportBundle rendering: terminal, Markdown, self-contained HTML."""
+
+from repro.analytics import ReportBundle, ResultRow, validate
+from repro.analytics.ledger import RunInfo
+
+
+def _bundle(**overrides):
+    base = dict(
+        title="repro report — test",
+        rows=[
+            ResultRow(label="oc/fsoi/n16/s0", status="ok", cached=False,
+                      ipc=9.35, latency=5.25),
+            ResultRow(label="oc/mesh/n16/s0", status="ok", cached=True,
+                      ipc=7.32, latency=18.32),
+            ResultRow(label="ba/fsoi/n16/s0", status="failed", cached=False,
+                      error="synthetic failure"),
+        ],
+        speedups={"16 nodes": 1.278},
+        wall_seconds=1.9,
+        generated_at="2026-01-01T00:00:00+00:00",
+    )
+    base.update(overrides)
+    return ReportBundle(**base)
+
+
+class TestCounts:
+    def test_summary_counts(self):
+        bundle = _bundle()
+        assert bundle.counts == {
+            "total": 3, "ok": 2, "failed": 1, "from_cache": 1,
+        }
+
+
+class TestTerminal:
+    def test_contains_rows_speedups_and_errors(self):
+        text = _bundle().to_terminal()
+        assert "3 points: 2 ok (1 from cache), 1 failed" in text
+        assert "oc/fsoi/n16/s0" in text
+        assert "cache" in text
+        assert "synthetic failure" in text
+        assert "1.278x" in text  # bar chart value
+
+    def test_run_info_line(self):
+        bundle = _bundle(run_info=RunInfo(
+            run_id="abc123", created_at="2026-01-01", code_version="v9",
+            label="", source="x", points=3,
+        ))
+        assert "ledger run abc123" in bundle.to_terminal()
+
+
+class TestMarkdown:
+    def test_tables_and_validation(self, small_report):
+        bundle = _bundle(validation=validate(small_report))
+        text = bundle.to_markdown()
+        assert "| point | IPC | latency | status |" in text
+        assert "| `oc/fsoi/n16/s0` | 9.350 | 5.25 | ok |" in text
+        assert "**5 pass / 0 fail / 2 skipped**" in text
+        assert "| 16 nodes | 1.278x |" in text
+        assert text.rstrip().endswith("_generated 2026-01-01T00:00:00+00:00_")
+
+
+class TestHtml:
+    def test_self_contained_document(self, small_report):
+        html = _bundle(validation=validate(small_report)).to_html()
+        assert html.startswith("<!doctype html>")
+        assert "<style>" in html          # inline CSS, no external assets
+        assert "http" not in html.split("generated")[0]
+        assert 'class="pass"' in html
+        assert 'class="skipped"' in html
+
+    def test_labels_are_escaped(self):
+        bundle = _bundle(rows=[ResultRow(
+            label="<script>alert(1)</script>", status="ok", cached=False,
+        )])
+        html = bundle.to_html()
+        assert "<script>alert" not in html
+        assert "&lt;script&gt;" in html
+
+
+class TestWrite:
+    def test_suffix_dispatch(self, tmp_path):
+        bundle = _bundle()
+        html_path = tmp_path / "report.HTML"
+        md_path = tmp_path / "report.md"
+        bundle.write(html_path)
+        bundle.write(md_path)
+        assert html_path.read_text().startswith("<!doctype html>")
+        assert md_path.read_text().startswith("# repro report — test")

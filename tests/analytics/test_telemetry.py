@@ -1,0 +1,159 @@
+"""ETA estimation and the live sweep progress line."""
+
+import io
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analytics import ETAEstimator, SweepTelemetry, format_eta
+from repro.sweep import (
+    PointOutcome,
+    SweepHeartbeat,
+    SweepSpec,
+    make_point,
+    run_sweep,
+)
+
+
+def _outcome(status="ok", cached=False, elapsed=1.0, app="oc"):
+    point = make_point(app, "fsoi", cycles=100)
+    return PointOutcome(
+        point=point, status=status, key="k-" + app,
+        result={"app": app} if status == "ok" else None,
+        error=None if status == "ok" else "boom",
+        cached=cached, elapsed=elapsed,
+    )
+
+
+class TestETAEstimator:
+    def test_no_samples_means_no_estimate(self):
+        eta = ETAEstimator()
+        assert eta.eta_seconds(0, 10) is None
+
+    def test_cached_points_carry_no_timing_signal(self):
+        eta = ETAEstimator()
+        eta.record(0.000001, cached=True)
+        eta.record(0.000002, cached=True)
+        assert eta.eta_seconds(2, 10) is None
+        # ...and once an executed sample lands, they do not dilute it.
+        eta.record(4.0)
+        assert eta.mean_point_seconds == 4.0
+        assert eta.eta_seconds(3, 10) == pytest.approx(7 * 4.0)
+
+    def test_workers_divide_the_estimate(self):
+        serial, pooled = ETAEstimator(workers=1), ETAEstimator(workers=4)
+        for est in (serial, pooled):
+            est.record(2.0)
+        assert serial.eta_seconds(1, 9) == pytest.approx(16.0)
+        assert pooled.eta_seconds(1, 9) == pytest.approx(4.0)
+
+    def test_done_equals_total_means_zero(self):
+        eta = ETAEstimator()
+        eta.record(3.0)
+        assert eta.eta_seconds(5, 5) == 0.0
+
+    def test_negative_wall_times_are_clamped(self):
+        eta = ETAEstimator()
+        eta.record(-1.0)
+        assert eta.eta_seconds(1, 4) == 0.0
+
+    def test_invalid_arguments_raise(self):
+        with pytest.raises(ValueError):
+            ETAEstimator(workers=0)
+        eta = ETAEstimator()
+        eta.record(1.0)
+        with pytest.raises(ValueError):
+            eta.eta_seconds(5, 4)
+        with pytest.raises(ValueError):
+            eta.eta_seconds(-1, 4)
+
+    @given(
+        wall=st.floats(min_value=1e-3, max_value=1e3),
+        total=st.integers(min_value=1, max_value=60),
+        workers=st.integers(min_value=1, max_value=8),
+    )
+    def test_constant_wall_time_eta_is_monotone_and_nonnegative(
+        self, wall, total, workers
+    ):
+        """Under constant per-point wall time the ETA only moves down."""
+        eta = ETAEstimator(workers=workers)
+        previous = None
+        for done in range(1, total + 1):
+            eta.record(wall)
+            estimate = eta.eta_seconds(done, total)
+            assert estimate is not None
+            assert estimate >= 0.0
+            if previous is not None:
+                assert estimate <= previous + 1e-9
+            previous = estimate
+        assert previous == pytest.approx(0.0)
+
+
+class TestFormatEta:
+    @pytest.mark.parametrize("seconds,expected", [
+        (None, "--"),
+        (0.0, "0s"),
+        (45.0, "45s"),
+        (200.0, "3m20s"),
+        (3720.0, "1h02m"),
+        (-5.0, "0s"),
+    ])
+    def test_rendering(self, seconds, expected):
+        assert format_eta(seconds) == expected
+
+
+class TestSweepTelemetry:
+    def test_counters_track_outcomes(self):
+        telemetry = SweepTelemetry(total=4)
+        telemetry.on_progress(1, 4, _outcome())
+        telemetry.on_progress(2, 4, _outcome(cached=True, elapsed=0.0))
+        telemetry.on_progress(3, 4, _outcome(status="failed"))
+        assert (telemetry.ok, telemetry.from_cache, telemetry.failed) \
+            == (2, 1, 1)
+        line = telemetry.line()
+        assert "[3/4]" in line
+        assert "ok 1" in line and "cache 1" in line and "failed 1" in line
+
+    def test_heartbeat_feeds_in_flight_labels(self):
+        telemetry = SweepTelemetry(total=4)
+        telemetry.on_heartbeat(SweepHeartbeat(
+            elapsed=1.5, done=1, total=4,
+            in_flight=("a/fsoi", "b/fsoi", "c/fsoi"), workers=2,
+        ))
+        line = telemetry.line()
+        assert "running a/fsoi, b/fsoi, +1" in line
+        assert telemetry.elapsed == 1.5
+
+    def test_live_mode_redraws_one_line(self):
+        stream = io.StringIO()
+        telemetry = SweepTelemetry(total=2, live=True, stream=stream)
+        telemetry.on_progress(1, 2, _outcome())
+        telemetry.on_progress(2, 2, _outcome())
+        telemetry.close()
+        text = stream.getvalue()
+        assert text.count("\r\x1b[2K") == 2
+        assert text.endswith("\n")
+        # close() is idempotent: no stray blank lines on a second call.
+        telemetry.close()
+        assert stream.getvalue() == text
+
+    def test_non_live_mode_writes_nothing(self):
+        stream = io.StringIO()
+        telemetry = SweepTelemetry(total=1, stream=stream)
+        telemetry.on_progress(1, 1, _outcome())
+        telemetry.close()
+        assert stream.getvalue() == ""
+
+    def test_wired_into_run_sweep(self):
+        spec = SweepSpec(apps=("ba", "lu"), networks=("fsoi",), cycles=200)
+        telemetry = SweepTelemetry(total=2)
+        report = run_sweep(
+            spec, workers=1,
+            progress=telemetry.on_progress,
+            heartbeat=telemetry.on_heartbeat,
+        )
+        assert report.failed == 0
+        assert telemetry.done == 2
+        assert telemetry.ok == 2
+        assert telemetry.eta.samples == 2

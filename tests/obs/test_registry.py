@@ -103,6 +103,20 @@ class TestExport:
         assert json.loads(json_path.read_text())["run"]["cycles"] == 2500
         assert csv_path.read_text().startswith("metric,value")
 
+    def test_write_suffix_dispatch_is_case_insensitive(self, tmp_path):
+        """``.CSV``/``.Csv`` get CSV, not the silent JSON fallthrough."""
+        reg, _ = make_registry()
+        for name in ("M.CSV", "m.Csv"):
+            path = tmp_path / name
+            reg.write(path)
+            assert path.read_text().startswith("metric,value")
+
+    def test_write_unknown_suffix_falls_through_to_json(self, tmp_path):
+        reg, _ = make_registry()
+        path = tmp_path / "m.txt"
+        reg.write(path)
+        assert json.loads(path.read_text())["run"]["cycles"] == 2500
+
     def test_latency_and_histogram_render_as_dicts(self):
         group = StatGroup("g")
         group.latency("lat").record(4)

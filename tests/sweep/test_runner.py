@@ -144,6 +144,24 @@ class TestMetricsArchive:
         b = make_point(app="ba", network="fsoi", cycles=600)
         assert metrics_filename(a) != metrics_filename(b)
 
+    def test_metrics_filenames_distinguish_fault_plan_labels(self):
+        """Plans differing only in label must not share an archive file.
+
+        The label rides inside ``FaultPlan.to_dict()`` and therefore
+        inside the point's canonical extras, so the content hash in the
+        filename separates them even though the fault schedule — and
+        the point's human-readable label — is identical.
+        """
+        from repro.faults import FaultPlan, LaneFault
+
+        schedule = (LaneFault(node=3, lane="meta"),)
+        a = make_point(app="ba", network="fsoi", cycles=300,
+                       faults=FaultPlan(label="a", lane_faults=schedule))
+        b = make_point(app="ba", network="fsoi", cycles=300,
+                       faults=FaultPlan(label="b", lane_faults=schedule))
+        assert a.label() == b.label()  # '+flt' tag only
+        assert metrics_filename(a) != metrics_filename(b)
+
     def test_cache_hits_skip_metrics_archiving(self, tmp_path):
         spec = _spec(apps=("ba",), networks=("fsoi",))
         metrics_dir = tmp_path / "metrics"
@@ -221,6 +239,60 @@ class TestJsonl:
         assert len(failed) == 2
         assert all(r["result"] is None for r in failed)
         assert all("synthetic" in r["error"] for r in failed)
+
+
+class TestLoadJsonl:
+    def _write(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        run_sweep(_spec(apps=("ba", "lu"), networks=("fsoi",)).points(),
+                  workers=1, execute=_fail_on_ba, jsonl_path=path)
+        return path
+
+    def test_strict_names_the_corrupt_line(self, tmp_path):
+        path = self._write(tmp_path)
+        with open(path, "a") as handle:
+            handle.write('{"index": 2, "status"\n')
+        with pytest.raises(ValueError, match=r"results\.jsonl:3"):
+            load_jsonl(path)
+
+    def test_non_strict_skips_corrupt_and_truncated_lines(self, tmp_path):
+        path = self._write(tmp_path)
+        with open(path, "a") as handle:
+            handle.write("not json at all\n")
+            handle.write('{"index": 2, "truncat')  # interrupted write
+        records = load_jsonl(path, strict=False)
+        assert [r["index"] for r in records] == [0, 1]
+
+    def test_blank_lines_are_not_corruption(self, tmp_path):
+        path = self._write(tmp_path)
+        with open(path, "a") as handle:
+            handle.write("\n\n")
+        assert len(load_jsonl(path)) == 2
+
+
+class TestHeartbeat:
+    def test_inline_pulses_announce_each_point(self):
+        pulses = []
+        run_sweep(_spec(apps=("ba", "lu"), networks=("fsoi",)).points(),
+                  workers=1, execute=_fail_on_ba,
+                  heartbeat=pulses.append)
+        assert [p.in_flight for p in pulses] == [
+            ("ba/fsoi/n16/s0",), ("lu/fsoi/n16/s0",),
+        ]
+        assert all(p.total == 2 and p.workers == 1 for p in pulses)
+        assert [p.done for p in pulses] == [0, 1]
+
+    @needs_fork
+    def test_pool_pulses_carry_in_flight_labels(self):
+        pulses = []
+        points = [make_point(app, "fsoi", cycles=100) for app in APPS]
+        report = run_sweep(points, workers=2, execute=_sleep_execute,
+                           heartbeat=pulses.append,
+                           heartbeat_interval=0.05)
+        assert report.ok == 4
+        assert pulses  # the 0.2s sleeps guarantee at least one pulse
+        assert all(len(p.in_flight) <= 2 for p in pulses)
+        assert all(p.elapsed >= 0.0 for p in pulses)
 
 
 class TestReport:
