@@ -2,7 +2,7 @@
 
 PYTEST ?= python -m pytest
 
-.PHONY: install test bench figures examples clean
+.PHONY: install test test-fast bench pytest-bench figures examples clean
 
 install:
 	pip install -e .
@@ -13,7 +13,13 @@ test:
 test-fast:
 	$(PYTEST) tests/ -x -q -m "not slow"
 
+# The pinned perf suite, gated against the committed BENCH_<sha>.json
+# trajectory (exit 1 on a direction-aware regression).
 bench:
+	PYTHONPATH=src python -m repro.cli bench --compare --no-write
+
+# The paper's tables/figures via pytest-benchmark (the old `make bench`).
+pytest-bench:
 	$(PYTEST) benchmarks/ --benchmark-only -s
 
 # Full-fidelity reproduction of every table and figure (hours).

@@ -498,8 +498,13 @@ def _cmd_sweep(args) -> int:
     )
     telemetry.close()
 
+    skip = ""
+    if report.skipped_cycles:
+        skip = (f", fast-forwarded {report.skipped_cycles:,} of "
+                f"{report.skipped_cycles + report.executed_cycles:,} cycles "
+                f"({100 * report.skip_ratio:.0f}%)")
     print(f"done in {report.wall_seconds:.1f}s: {report.executed} executed, "
-          f"{report.from_cache} from cache, {report.failed} failed")
+          f"{report.from_cache} from cache, {report.failed} failed{skip}")
     if report.ok:
         header = f"  {'point':<28} {'IPC':>8} {'latency':>8}"
         print(header)

@@ -38,6 +38,10 @@ class CmpResults:
     fsoi: dict = field(default_factory=dict)       # collision/hint details
     mesh_activity: dict = field(default_factory=dict)  # router switching
     traffic_matrix: list = field(default_factory=list)  # [src][dst] packets
+    #: Simulation-loop accounting: {"executed_cycles", "skipped_cycles"}.
+    #: Wall-clock bookkeeping only — everything else in the result is
+    #: bit-identical whether cycles were executed or fast-forwarded.
+    loop: dict = field(default_factory=dict)
 
     @property
     def ipc(self) -> float:
@@ -93,6 +97,7 @@ class CmpResults:
             "fsoi": dict(self.fsoi),
             "mesh_activity": dict(self.mesh_activity),
             "traffic_matrix": [list(row) for row in self.traffic_matrix],
+            "loop": dict(self.loop),
         }
         return out
 
@@ -130,6 +135,7 @@ class CmpResults:
             fsoi=dict(data["fsoi"]),
             mesh_activity=dict(data["mesh_activity"]),
             traffic_matrix=[list(row) for row in data["traffic_matrix"]],
+            loop=dict(data.get("loop", {})),
         )
 
     @classmethod

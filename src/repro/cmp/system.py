@@ -22,6 +22,7 @@ simulator.
 
 from __future__ import annotations
 
+import os
 from collections import deque
 from dataclasses import dataclass, field, replace
 from time import perf_counter
@@ -45,6 +46,7 @@ from repro.net.packet import Packet
 from repro.obs.profile import PROFILER
 from repro.obs.registry import MetricsRegistry
 from repro.obs.trace import TRACE
+from repro.util.events import CycleCalendar
 from repro.util.rng import RngHub
 from repro.util.stats import Histogram
 from repro.workloads.splash2 import AppSignature, AppWorkload, signature
@@ -97,6 +99,11 @@ class CmpConfig:
     #: (the paper measures inside the parallel sections, long after the
     #: data is first touched).  Streaming regions stay cold by design.
     warm_start: bool = True
+    #: Next-event fast-forward: jump over cycles where no subsystem can
+    #: change state (docs/performance.md).  Results are bit-identical
+    #: either way; disable here (or via REPRO_NO_FASTFORWARD=1) only to
+    #: cross-check or to step the naive loop under a debugger.
+    fast_forward: bool = True
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -149,8 +156,17 @@ class CmpSystem:
 
         self.network = self._build_network()
         self._is_fsoi = isinstance(self.network, FsoiNetwork)
-        self._calendar: dict[int, list] = {}
+        self._calendar = CycleCalendar()
         self._overflow: list[deque[Packet]] = [deque() for _ in range(n)]
+        # Fast-forward accounting (docs/performance.md): every simulated
+        # cycle is either executed by tick() or jumped by _skip_to().
+        self.executed_cycles = 0
+        self.skipped_cycles = 0
+        self._pin_core = 0  # last core seen pinning the horizon to "now"
+        self._due = self._calendar._heap  # cached guard (never rebound)
+        self._fast_forward = config.fast_forward and os.environ.get(
+            "REPRO_NO_FASTFORWARD", ""
+        ) in ("", "0")
         # §4.4 per-line ordering: (node, line) -> queued (msg, delay).
         self._line_pending: dict[tuple[int, int], deque] = {}
 
@@ -243,17 +259,35 @@ class CmpSystem:
             workload = core.workload
             for line in workload.reuse_lines()[: app.hot_lines]:
                 hot[line] = node
-        for line in lines:
+        if self.config.directory.capacity_lines is not None:
+            # Bounded slices count live entries for capacity pressure,
+            # so the warm set must be materialized eagerly.
+            for line in lines:
+                entry = self.directories[self.home_of(line)].entry(line)
+                owner = hot.get(line)
+                if owner is None:
+                    entry.state = DirState.DV
+                    continue
+                entry.state = DirState.DM
+                entry.sharers = {owner}
+                l1 = self.l1s[owner]
+                l1.array.insert(line)
+                l1._states[line] = L1State.E
+            return
+        # Unbounded slices (the calibrated default): only the L1-hot
+        # lines get real entries; the DV bulk stays a lazily-consumed
+        # warm set shared across slices (home-partitioned, so no two
+        # slices ever race on one line).
+        for line, owner in hot.items():
             entry = self.directories[self.home_of(line)].entry(line)
-            owner = hot.get(line)
-            if owner is None:
-                entry.state = DirState.DV
-                continue
             entry.state = DirState.DM
             entry.sharers = {owner}
             l1 = self.l1s[owner]
             l1.array.insert(line)
             l1._states[line] = L1State.E
+        lines.difference_update(hot)
+        for directory in self.directories:
+            directory.preload_valid(lines)
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -424,10 +458,13 @@ class CmpSystem:
         self.l1s[node].handle(msg)
 
     def _at(self, cycle: int, action) -> None:
+        # Clamp past/present cycles to "run now": the tick sweep has
+        # already passed them, so a calendar entry would never fire (the
+        # stale-key bug of the old dict calendar — see its test).
         if cycle <= self.cycle:
             action()
             return
-        self._calendar.setdefault(cycle, []).append(action)
+        self._calendar.schedule(cycle, action)
 
     # -- §5.1 subscription signals ----------------------------------------------
 
@@ -464,8 +501,9 @@ class CmpSystem:
         cycle = self.cycle
         if TRACE.enabled:
             TRACE.cycle = cycle
-        for action in self._calendar.pop(cycle, ()):  # due events
-            action()
+        due = self._due
+        if due and due[0][0] <= cycle:
+            self._calendar.run_due(cycle)  # due events
         for node, queue in enumerate(self._overflow):
             while queue and self.network.try_send(queue[0], cycle):
                 queue.popleft()
@@ -474,6 +512,7 @@ class CmpSystem:
         self.network.tick(cycle)
         for core in self.cores:
             core.tick(cycle)
+        self.executed_cycles += 1
         self.cycle = cycle + 1
 
     def _tick_profiled(self) -> None:
@@ -486,8 +525,9 @@ class CmpSystem:
         if TRACE.enabled:
             TRACE.cycle = cycle
         t0 = perf_counter()
-        for action in self._calendar.pop(cycle, ()):  # due events
-            action()
+        due = self._due
+        if due and due[0][0] <= cycle:
+            self._calendar.run_due(cycle)  # due events
         t1 = perf_counter()
         PROFILER.add("calendar", t1 - t0)
         for node, queue in enumerate(self._overflow):
@@ -506,13 +546,111 @@ class CmpSystem:
             core.tick(cycle)
         PROFILER.add("cores", perf_counter() - t4)
         PROFILER.cycle_done()
+        self.executed_cycles += 1
         self.cycle = cycle + 1
+
+    # -- next-event fast-forward (docs/performance.md) ------------------
+
+    def _next_event(self) -> Optional[int]:
+        """Min over every subsystem's event horizon.
+
+        Returns the current cycle when any subsystem can change state
+        *now* (the loop must tick), a future cycle when everything is
+        provably inert until then (the loop may jump), or ``None`` when
+        the whole system is quiescent (nothing will ever happen again).
+        """
+        cycle = self.cycle
+        # Pin cache: a RUNNING core pins the horizon to "now" no matter
+        # what the other subsystems report, and cores run in multi-cycle
+        # bursts — remembering the last pinning core turns the common
+        # fully-active case into a single state check.
+        if self.cores[self._pin_core].state is CoreState.RUNNING:
+            return cycle
+        horizon = None
+        due = self._due
+        if due:
+            c = due[0][0]
+            if c <= cycle:  # pragma: no cover - _at clamps past cycles
+                return cycle
+            horizon = c
+        for queue in self._overflow:
+            if queue:
+                # A backed-up injection retries (and counts a refusal)
+                # every cycle, exactly as the naive loop does.
+                return cycle
+        for index, core in enumerate(self.cores):
+            c = core.next_event(cycle)
+            if c is not None:
+                if c <= cycle:
+                    if core.state is CoreState.RUNNING:
+                        self._pin_core = index
+                    return cycle
+                if horizon is None or c < horizon:
+                    horizon = c
+        for controller in self.memory.values():
+            c = controller.next_event(cycle)
+            if c is not None:
+                if c <= cycle:
+                    return cycle
+                if horizon is None or c < horizon:
+                    horizon = c
+        c = self.network.next_event(cycle)
+        if c is not None:
+            if c <= cycle:
+                return cycle
+            if horizon is None or c < horizon:
+                horizon = c
+        return horizon
+
+    def _skip_to(self, end: int) -> None:
+        """Jump the clock from ``self.cycle`` to ``end`` in one step.
+
+        Every per-cycle side effect the naive loop would have produced
+        over ``[cycle, end)`` is applied in bulk: core stall/sync
+        counters (and lock-hold countdowns), the network's elapsed-slot
+        tallies.  Tracing and profiling record the span instead of
+        inhibiting the skip.
+        """
+        start = self.cycle
+        gap = end - start
+        if gap <= 0:  # pragma: no cover - callers guarantee end > cycle
+            return
+        for core in self.cores:
+            core.skip(gap)
+        self.network.skip(start, end)
+        self.skipped_cycles += gap
+        if TRACE.enabled:
+            TRACE.cycle = start
+            TRACE.emit("fast_forward", cat="loop", cycle=start, dur=gap)
+        if PROFILER.enabled:
+            PROFILER.skip(gap)
+        self.cycle = end
+
+    def _step(self, target: int) -> None:
+        """Advance by one tick or one fast-forward jump, capped at
+        ``target`` (exclusive)."""
+        if PROFILER.enabled:
+            t0 = perf_counter()
+            horizon = self._next_event()
+            PROFILER.add("horizon", perf_counter() - t0)
+        else:
+            horizon = self._next_event()
+        if horizon is None:
+            self._skip_to(target)
+        elif horizon > self.cycle:
+            self._skip_to(min(horizon, target))
+        else:
+            self.tick()
 
     def run(self, cycles: int) -> CmpResults:
         """Simulate ``cycles`` cycles and collect the results."""
         target = self.cycle + cycles
-        while self.cycle < target:
-            self.tick()
+        if self._fast_forward:
+            while self.cycle < target:
+                self._step(target)
+        else:
+            while self.cycle < target:
+                self.tick()
         return self._results()
 
     def run_until_instructions(
@@ -524,6 +662,11 @@ class CmpSystem:
         fixed workload ("we measure the same workload"); the speedup of
         two configurations is then their cycle-count ratio, identical
         to the IPC ratio only in steady state.
+
+        The fast-forward path checks the work target once per step:
+        instruction counts only move on executed ticks (no core is
+        RUNNING during a jump), so the stop cycle matches the naive
+        loop's exactly.
         """
         if instructions < 1:
             raise ValueError(f"need a positive work target: {instructions}")
@@ -531,7 +674,10 @@ class CmpSystem:
         while self.cycle < limit:
             if sum(core.instructions for core in self.cores) >= instructions:
                 return self._results()
-            self.tick()
+            if self._fast_forward:
+                self._step(limit)
+            else:
+                self.tick()
         raise RuntimeError(
             f"work target {instructions} not reached within {max_cycles} cycles"
         )
@@ -676,6 +822,10 @@ class CmpSystem:
             fsoi=fsoi,
             mesh_activity=mesh_activity,
             traffic_matrix=self.network.traffic_matrix(),
+            loop={
+                "executed_cycles": self.executed_cycles,
+                "skipped_cycles": self.skipped_cycles,
+            },
         )
 
 

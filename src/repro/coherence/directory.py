@@ -19,6 +19,13 @@ One deviation from the table text: on ``DwgAck`` in ``DM.DSD`` we move
 to **DS** (owner downgraded to S, requester added as S) where the
 scanned table prints "/DM"; DS is the only reading consistent with the
 L1 table's ``Dwg -> DwgAck(D)/S`` row.
+
+Timing note for the fast-forward engine (docs/performance.md): the
+directory is *purely reactive* — it has no tick, never self-schedules,
+and every outgoing message routes through the system calendar via its
+``send`` callback.  It therefore contributes no event horizon of its
+own; its future activity is always represented by a calendar entry or
+an in-flight packet, both already covered by other horizons.
 """
 
 from __future__ import annotations
@@ -109,6 +116,12 @@ class DirectoryController:
         self.memory_node_of = memory_node_of
         self.config = config or DirectoryConfig()
         self._entries: dict[int, _Entry] = {}
+        #: Warm-start lines resident-valid (DV) in this slice but not
+        #: yet materialized as entries; :meth:`entry` materializes (and
+        #: consumes) them on first touch.  May be shared between slices
+        #: — home interleaving guarantees no two slices are ever asked
+        #: about the same line.  See :meth:`preload_valid`.
+        self._warm: set[int] = set()
         self._queued_total = 0
         self._lru_clock = 0
         stats = stats or StatGroup(f"dir.{node}")
@@ -128,12 +141,41 @@ class DirectoryController:
         ent = self._entries.get(line)
         if ent is None:
             ent = _Entry()
+            warm = self._warm
+            if warm and line in warm:
+                # Consume the warm marker: once materialized the entry
+                # alone carries the state (an eviction back to DI must
+                # not resurrect as DV on the next touch).
+                warm.discard(line)
+                ent.state = DirState.DV
             self._entries[line] = ent
         return ent
 
     def state(self, line: int) -> DirState:
         ent = self._entries.get(line)
-        return ent.state if ent is not None else DirState.DI
+        if ent is not None:
+            return ent.state
+        if self._warm and line in self._warm:
+            return DirState.DV
+        return DirState.DI
+
+    def preload_valid(self, lines: set[int]) -> None:
+        """Warm-start ``lines`` as resident-valid (DV) in this slice.
+
+        Entries are materialized lazily on first touch instead of up
+        front — a 16-node warm start covers ~67k lines of which a short
+        run touches a few hundred, so eager materialization dominates
+        construction cost.  ``lines`` may be a set shared with the
+        other slices (home interleaving partitions it); it is consumed
+        destructively as lines are touched.
+
+        Requires an unbounded slice: capacity accounting counts live
+        entries, so a bounded slice must materialize its warm set
+        eagerly (the caller keeps the eager path in that case).
+        """
+        if self.config.capacity_lines is not None:
+            raise ValueError("lazy warm start needs an unbounded L2 slice")
+        self._warm = lines
 
     def outstanding(self) -> int:
         return sum(1 for e in self._entries.values() if e.state.is_transient)

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from repro.obs.trace import TRACE
+from repro.util.events import CycleCalendar
 
 __all__ = ["ConfirmationChannel", "MiniCycleReservations"]
 
@@ -81,7 +82,7 @@ class ConfirmationChannel:
             raise ValueError(f"confirmation delay must be >= 1: {delay}")
         self.num_nodes = num_nodes
         self.delay = delay
-        self._calendar: dict[int, list[Callable[[], None]]] = {}
+        self._calendar = CycleCalendar()
         self.reservations = [
             MiniCycleReservations(mini_cycles) for _ in range(num_nodes)
         ]
@@ -100,7 +101,7 @@ class ConfirmationChannel:
         Returns the arrival cycle (``cycle_received + delay``).
         """
         arrival = cycle_received + self.delay
-        self._calendar.setdefault(arrival, []).append(action)
+        self._calendar.schedule(arrival, action)
         self.confirmations_sent += 1
         if TRACE.enabled:
             TRACE.emit(
@@ -112,7 +113,7 @@ class ConfirmationChannel:
     def send_signal(self, now: int, action: Callable[[], None]) -> int:
         """Queue a §5.1 positional one-bit signal (same fixed latency)."""
         arrival = now + self.delay
-        self._calendar.setdefault(arrival, []).append(action)
+        self._calendar.schedule(arrival, action)
         self.signals_sent += 1
         if TRACE.enabled:
             TRACE.emit(
@@ -137,9 +138,16 @@ class ConfirmationChannel:
 
     def tick(self, cycle: int) -> None:
         """Deliver everything due at ``cycle``."""
-        for action in self._calendar.pop(cycle, ()):  # insertion order
-            action()
+        self._calendar.run_due(cycle)
+
+    def next_event(self, cycle: int) -> Optional[int]:
+        """Fast-forward horizon: the earliest pending arrival, if any.
+
+        Arrivals are scheduled ``delay >= 1`` cycles ahead, so the heap
+        top is never in the past relative to the network's tick.
+        """
+        return self._calendar.next_cycle()
 
     def pending(self) -> int:
         """Number of queued deliveries (for drain checks)."""
-        return sum(len(v) for v in self._calendar.values())
+        return len(self._calendar)

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Optional, Sequence
 
 from repro.net.packet import DATA_PACKET_BITS, META_PACKET_BITS, LaneKind
@@ -58,8 +59,12 @@ class LaneConfig:
         vcsels = self.meta_vcsels if lane is LaneKind.META else self.data_vcsels
         return vcsels * self.bits_per_cycle_per_vcsel
 
+    @lru_cache(maxsize=None)
     def slot_cycles(self, lane: LaneKind) -> int:
         """Serialization latency = slot length, CPU cycles.
+
+        Cached (the config is frozen, hence hashable) — the network's
+        tick and fast-forward horizons ask for it constantly.
 
         >>> LaneConfig().slot_cycles(LaneKind.META)
         2
@@ -125,3 +130,19 @@ class LaneConfig:
         """First slot boundary at or after ``cycle``."""
         slot = self.slot_cycles(lane)
         return ((cycle + slot - 1) // slot) * slot
+
+    def slots_in_range(self, start: int, end: int, lane: LaneKind) -> int:
+        """Number of slot boundaries for ``lane`` in ``[start, end)``.
+
+        This is how a fast-forward skip over ``[start, end)`` accounts
+        the ``_start_slot`` calls the naive loop would have made.
+
+        >>> LaneConfig().slots_in_range(0, 10, LaneKind.DATA)
+        2
+        >>> LaneConfig().slots_in_range(1, 5, LaneKind.META)
+        2
+        """
+        slot = self.slot_cycles(lane)
+        first = (start + slot - 1) // slot  # index of first boundary >= start
+        past = (end + slot - 1) // slot     # index of first boundary >= end
+        return max(0, past - first)

@@ -55,6 +55,7 @@ from repro.net.packet import (
     merged_one_hot,
     one_hot_senders,
 )
+from repro.util.events import CycleCalendar
 from repro.util.rng import RngHub
 
 __all__ = ["FsoiConfig", "FsoiNetwork"]
@@ -190,7 +191,21 @@ class FsoiNetwork(Interconnect):
         self.confirmations = ConfirmationChannel(
             config.num_nodes, delay=config.lanes.confirmation_delay
         )
-        self._calendar: dict[int, list] = {}
+        self._calendar = CycleCalendar()
+        self._now = -1  # last ticked cycle; _schedule must stay ahead of it
+        # Cached heap references for the per-cycle due guards (the
+        # underlying lists are mutated in place, never rebound).
+        self._due = self._calendar._heap
+        self._conf_due = self.confirmations._calendar._heap
+        # Pending transmissions (queued + backed-off) per lane.  Kept
+        # incrementally so quiescent() and the fast-forward horizon are
+        # O(1) checks instead of O(N·lanes) scans per tick.
+        self._lane_pending = {LaneKind.META: 0, LaneKind.DATA: 0}
+        # Slot lengths, precomputed once for the tick/horizon hot paths.
+        self._slot_len = {
+            lane: config.lanes.slot_cycles(lane)
+            for lane in (LaneKind.META, LaneKind.DATA)
+        }
         self._reservations = [SlotReservations() for _ in range(config.num_nodes)]
         self._expected = [ExpectedReplies() for _ in range(config.num_nodes)]
         # Unslotted mode: per-(node, lane) transmitter busy horizon and
@@ -282,29 +297,94 @@ class FsoiNetwork(Interconnect):
             # (or whoever it forwards to); used by the resolution hint.
             self._expected[packet.src].expect(packet.dst)
         state.queue.append(packet)
+        self._lane_pending[packet.lane] += 1
         self.stats.sent.add()
         return True
 
     def tick(self, cycle: int) -> None:
         if TRACE.enabled:
             TRACE.cycle = cycle
-        self.confirmations.tick(cycle)
-        for action in self._calendar.pop(cycle, ()):  # scheduled outcomes
-            action()
-        for lane in (LaneKind.META, LaneKind.DATA):
+        self._now = cycle
+        due = self._conf_due
+        if due and due[0][0] <= cycle:
+            self.confirmations.tick(cycle)
+        due = self._due
+        if due and due[0][0] <= cycle:
+            self._calendar.run_due(cycle)  # scheduled outcomes
+        for lane, slot_len in self._slot_len.items():
             if not self.config.slotted:
                 self._start_unslotted(lane, cycle)
-            elif self.lanes.slot_aligned(cycle, lane):
+            elif cycle % slot_len == 0:
                 self._start_slot(lane, cycle)
 
     def quiescent(self) -> bool:
-        if self._calendar or self.confirmations.pending():
-            return False
-        for lane_states in self._state.values():
-            for state in lane_states:
-                if state.queue or state.retx:
-                    return False
-        return True
+        return (
+            not self._calendar
+            and not self.confirmations.pending()
+            and self._lane_pending[LaneKind.META] == 0
+            and self._lane_pending[LaneKind.DATA] == 0
+        )
+
+    # -- fast-forward horizon (see docs/performance.md) -----------------
+
+    def next_event(self, cycle: int) -> int | None:
+        """Earliest future cycle at which the network can change state.
+
+        The horizon is the min over: the confirmation calendar, the
+        outcome calendar, and — per lane with pending transmissions —
+        the first slot boundary at or after the earliest packet becomes
+        eligible.  The pure-ALOHA ablation (``slotted=False``) starts
+        transmissions on any cycle, so it pins the horizon to "now"
+        (fast-forward inhibited).  While a fault plan has a lane marked
+        down, every slot boundary must still be evaluated (the sender's
+        healed-lane probe happens there), so the horizon is capped at
+        the next boundary.
+        """
+        if not self.config.slotted:
+            return cycle
+        horizon = self.confirmations.next_event(cycle)
+        c = self._calendar.next_cycle()
+        if c is not None and (horizon is None or c < horizon):
+            horizon = c
+        for lane, slot_len in self._slot_len.items():
+            if self._lane_pending[lane] == 0:
+                continue
+            earliest = None
+            for state in self._state[lane]:
+                for entry in state.retx:
+                    if earliest is None or entry.release < earliest:
+                        earliest = entry.release
+                queue = state.queue
+                if queue:
+                    ready = queue[0].scheduled_cycle
+                    if earliest is None or ready < earliest:
+                        earliest = ready
+            if earliest is None:  # pragma: no cover - counter invariant
+                continue
+            if earliest < cycle:
+                earliest = cycle
+            boundary = ((earliest + slot_len - 1) // slot_len) * slot_len
+            if horizon is None or boundary < horizon:
+                horizon = boundary
+        if self._injector is not None and self._injector.suppression_active:
+            for slot_len in self._slot_len.values():
+                boundary = ((cycle + slot_len - 1) // slot_len) * slot_len
+                if horizon is None or boundary < horizon:
+                    horizon = boundary
+        if horizon is not None and horizon < cycle:
+            return cycle
+        return horizon
+
+    def skip(self, start: int, end: int) -> None:
+        """Account the slot boundaries a fast-forward over ``[start, end)``
+        jumped past (the naive loop's ``_start_slot`` calls would have
+        found nothing to do, but they do count elapsed slots — the
+        denominator of Figure 3's transmission/collision probabilities).
+        """
+        for lane in (LaneKind.META, LaneKind.DATA):
+            boundaries = self.lanes.slots_in_range(start, end, lane)
+            if boundaries:
+                self._lane_stats[lane]["slots"].add(boundaries)
 
     # ------------------------------------------------------------------
     # Slot processing
@@ -326,7 +406,7 @@ class FsoiNetwork(Interconnect):
                 # stops lighting it — queued traffic fast-fails straight
                 # into back-off (escalating towards give-up) without
                 # occupying the medium or counting as a transmission.
-                packet = self._pick_transmission(state, cycle)
+                packet = self._pick_transmission(lane, state, cycle)
                 if packet is not None:
                     self._fault_lane_stats[lane]["suppressed"].add()
                     packet.retries += 1
@@ -338,7 +418,7 @@ class FsoiNetwork(Interconnect):
                         )
                     self._back_off(lane, packet, cycle)
                 continue
-            packet = self._pick_transmission(state, cycle)
+            packet = self._pick_transmission(lane, state, cycle)
             if packet is None:
                 continue
             if packet.first_tx_cycle < 0:
@@ -426,7 +506,7 @@ class FsoiNetwork(Interconnect):
             if self._tx_busy_until.get((node, lane), 0) > cycle:
                 continue
             state = self._state[lane][node]
-            packet = self._pick_transmission(state, cycle)
+            packet = self._pick_transmission(lane, state, cycle)
             if packet is None:
                 continue
             if packet.first_tx_cycle < 0:
@@ -520,13 +600,17 @@ class FsoiNetwork(Interconnect):
 
         self.confirmations.send_confirmation(receive_cycle, confirm)
 
-    def _pick_transmission(self, state: _LaneState, cycle: int) -> Packet | None:
+    def _pick_transmission(
+        self, lane: LaneKind, state: _LaneState, cycle: int
+    ) -> Packet | None:
         due = [e for e in state.retx if e.release <= cycle]
         if due:
             entry = min(due, key=lambda e: (e.release, e.seq))
             state.retx.remove(entry)
+            self._lane_pending[lane] -= 1
             return entry.packet
         if state.queue and state.queue[0].scheduled_cycle <= cycle:
+            self._lane_pending[lane] -= 1
             return state.queue.popleft()
         return None
 
@@ -748,6 +832,7 @@ class FsoiNetwork(Interconnect):
         state = self._state[lane][packet.src]
         state.retx_seq += 1
         state.retx.append(_RetxEntry(release, state.retx_seq, packet))
+        self._lane_pending[lane] += 1
         if TRACE.enabled:
             TRACE.emit(
                 "backoff", cat="fsoi", cycle=base_cycle, node=packet.src,
@@ -812,6 +897,7 @@ class FsoiNetwork(Interconnect):
             state.retx.append(
                 _RetxEntry(cycle + slot_len, state.retx_seq, winner)
             )
+            self._lane_pending[LaneKind.DATA] += 1
             if TRACE.enabled:
                 TRACE.emit(
                     "hint", cat="fsoi", cycle=cycle, node=dst,
@@ -873,7 +959,15 @@ class FsoiNetwork(Interconnect):
         super()._deliver(packet, cycle)
 
     def _schedule(self, cycle: int, action) -> None:
-        self._calendar.setdefault(cycle, []).append(action)
+        if cycle <= self._now:
+            # A past-cycle entry would sit in the calendar forever (the
+            # tick sweep has already passed it) — a silent stall bug in
+            # the old dict-calendar days; now loud.
+            raise ValueError(
+                f"cannot schedule an outcome at cycle {cycle}; "
+                f"the network already ticked cycle {self._now}"
+            )
+        self._calendar.schedule(cycle, action)
 
     def transmission_probability(self, lane: LaneKind) -> float:
         """Measured per-node, per-slot transmission probability."""

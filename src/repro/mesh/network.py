@@ -124,6 +124,27 @@ class MeshNetwork(Interconnect):
             return False
         return all(router.occupancy() == 0 for router in self.routers)
 
+    def next_event(self, cycle: int) -> int | None:
+        """Fast-forward horizon: min over pending ejections, per-router
+        head-flit readiness, and injection work (which can make progress
+        on any cycle, so it pins the horizon to "now")."""
+        if any(state is not None for state in self._inject_state):
+            return cycle
+        if any(self._inject_queues):
+            return cycle
+        horizon = min(self._deliveries) if self._deliveries else None
+        if horizon is not None and horizon <= cycle:
+            return cycle
+        for router in self.routers:
+            c = router.next_event(cycle)
+            if c is None:
+                continue
+            if c <= cycle:
+                return cycle
+            if horizon is None or c < horizon:
+                horizon = c
+        return horizon
+
     # -- injection / ejection -----------------------------------------------
 
     def _inject(self, node: int, cycle: int) -> None:

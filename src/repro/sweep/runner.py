@@ -205,6 +205,37 @@ class SweepReport:
         """Points that actually ran the simulator (cache misses)."""
         return sum(1 for o in self.outcomes if o.ok and not o.cached)
 
+    # -- fast-forward accounting (docs/performance.md) -------------------
+
+    @property
+    def executed_cycles(self) -> int:
+        """Cycles the successful points actually ticked through."""
+        return sum(
+            o.result.get("loop", {}).get("executed_cycles", 0)
+            for o in self.outcomes
+            if o.ok and o.result is not None
+        )
+
+    @property
+    def skipped_cycles(self) -> int:
+        """Cycles the successful points fast-forwarded past."""
+        return sum(
+            o.result.get("loop", {}).get("skipped_cycles", 0)
+            for o in self.outcomes
+            if o.ok and o.result is not None
+        )
+
+    @property
+    def skip_ratio(self) -> float:
+        """Fraction of simulated cycles covered by fast-forward jumps.
+
+        Zero both when nothing skipped and when the loop counters are
+        absent (results produced before they existed, e.g. replayed
+        from an old cache).
+        """
+        total = self.executed_cycles + self.skipped_cycles
+        return self.skipped_cycles / total if total else 0.0
+
     # -- result access ---------------------------------------------------
 
     def results(self) -> list[tuple[SweepPoint, CmpResults]]:

@@ -217,6 +217,13 @@ def signature(label: str) -> AppSignature:
         ) from None
 
 
+#: WORK and BARRIER ops carry no payload and Op is frozen, so every
+#: stream shares one instance of each (op construction is the hottest
+#: allocation in the simulator — two thirds of all instructions).
+_WORK_OP = Op(kind=OpKind.WORK)
+_BARRIER_OP = Op(kind=OpKind.BARRIER)
+
+
 class AppWorkload:
     """Per-core operation stream for one application signature."""
 
@@ -235,19 +242,21 @@ class AppWorkload:
     def next_op(self, rng: np.random.Generator) -> Op:
         """The next instruction for this core."""
         sig = self.signature
-        self._ops_generated += 1
-        count = self._ops_generated
+        count = self._ops_generated + 1
+        self._ops_generated = count
 
-        if sig.barrier_interval and count % sig.barrier_interval == 0:
-            return Op(kind=OpKind.BARRIER)
-        if sig.lock_interval and count % sig.lock_interval == 0:
+        interval = sig.barrier_interval
+        if interval and count % interval == 0:
+            return _BARRIER_OP
+        interval = sig.lock_interval
+        if interval and count % interval == 0:
             return Op(
                 kind=OpKind.LOCK,
                 lock_id=int(rng.integers(0, sig.lock_count)),
                 hold_cycles=sig.lock_hold_cycles,
             )
         if rng.random() >= sig.mem_fraction:
-            return Op(kind=OpKind.WORK)
+            return _WORK_OP
         line, shared = self._pick_line(rng)
         write_fraction = (
             sig.shared_write_fraction if shared else sig.write_fraction

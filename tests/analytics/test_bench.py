@@ -106,6 +106,36 @@ class TestCompareDirections:
         assert "REGRESSED" in text
         assert "FAIL: 1 metric(s) regressed" in text
 
+    def test_render_labels_direction(self):
+        previous = _snapshot(**{"sweep.cold_seconds": 1.0,
+                                "profile.fsoi.cycles_per_sec": 1000.0})
+        current = _snapshot(sha="b", **{"sweep.cold_seconds": 2.0,
+                                        "profile.fsoi.cycles_per_sec": 2000.0})
+        text = compare_snapshots(current, previous).render()
+        assert "100.0% worse" in text   # the slowdown
+        assert "100.0% better" in text  # the throughput gain
+
+    def test_noise_floor_absorbs_tiny_absolute_deltas(self):
+        # A 30% swing on a 1 ms metric is scheduler jitter; the same
+        # relative swing on a 1 s metric is a real regression.
+        previous = _snapshot(**{"sweep.warm_seconds": 0.001,
+                                "profile.fsoi.cal.us_per_cycle": 2.0})
+        current = _snapshot(sha="b",
+                            **{"sweep.warm_seconds": 0.0013,
+                               "profile.fsoi.cal.us_per_cycle": 2.6})
+        assert compare_snapshots(current, previous, threshold=0.2).ok
+
+    def test_noise_floor_does_not_mask_real_regressions(self):
+        previous = _snapshot(**{"sweep.cold_seconds": 1.0,
+                                "profile.fsoi.net.us_per_cycle": 10.0})
+        current = _snapshot(sha="b",
+                            **{"sweep.cold_seconds": 1.3,
+                               "profile.fsoi.net.us_per_cycle": 13.0})
+        comparison = compare_snapshots(current, previous, threshold=0.2)
+        assert {row.metric for row in comparison.regressions} == {
+            "sweep.cold_seconds", "profile.fsoi.net.us_per_cycle",
+        }
+
 
 class TestRunBench:
     def test_tiny_suite_produces_all_metric_families(self, tmp_path):

@@ -1,0 +1,199 @@
+"""The fast-forward engine's equivalence contract.
+
+The next-event loop (docs/performance.md) must be *invisible* in every
+measured quantity: a fast-forwarded run and a naive cycle-by-cycle run
+of the same configuration produce byte-identical ``CmpResults`` (minus
+the ``loop`` accounting field, which exists to describe the difference)
+and identical metrics-registry snapshots.  These tests pin that down
+across networks, seeds, system sizes and fault plans, plus the two
+escape hatches (``CmpConfig.fast_forward`` and ``REPRO_NO_FASTFORWARD``).
+"""
+
+import json
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cmp import CmpConfig, CmpSystem
+from repro.faults import ConfirmationDrop, FaultPlan, LaneFault
+from repro.sweep import canonical_json
+
+FAULT_PLAN = FaultPlan(
+    label="ff-equivalence",
+    lane_faults=(LaneFault(3, "data", start=200, end=900),),
+    confirmation_drops=(ConfirmationDrop(0.05),),
+    seed=11,
+)
+
+
+def run_pair(cycles: int = 1200, **config_kwargs):
+    """(fast-forward, naive) result/metrics pairs for one config."""
+    outputs = []
+    for fast_forward in (True, False):
+        system = CmpSystem(
+            CmpConfig(fast_forward=fast_forward, **config_kwargs)
+        )
+        result = system.run(cycles)
+        metrics = json.loads(canonical_json(system.metrics_registry().snapshot()))
+        outputs.append((result, metrics))
+    return outputs
+
+
+def assert_equivalent(fast, naive):
+    fast_result, fast_metrics = fast
+    naive_result, naive_metrics = naive
+    fast_dict = fast_result.to_dict()
+    naive_dict = naive_result.to_dict()
+    fast_loop = fast_dict.pop("loop")
+    naive_loop = naive_dict.pop("loop")
+    assert canonical_json(fast_dict) == canonical_json(naive_dict)
+    assert fast_metrics == naive_metrics
+    # The naive loop executes every cycle; the fast-forward loop covers
+    # the same window as executed + skipped.
+    assert naive_loop["skipped_cycles"] == 0
+    total = fast_loop["executed_cycles"] + fast_loop["skipped_cycles"]
+    assert total == naive_loop["executed_cycles"]
+    return fast_loop
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize(
+        "network", ("fsoi", "mesh", "l0", "lr1", "lr2", "corona")
+    )
+    def test_all_networks(self, network):
+        fast, naive = run_pair(
+            app="oc", network=network, num_nodes=16, seed=1
+        )
+        assert_equivalent(fast, naive)
+
+    @pytest.mark.parametrize("seed", (0, 7))
+    def test_seeds(self, seed):
+        fast, naive = run_pair(app="ba", network="fsoi", num_nodes=16, seed=seed)
+        assert_equivalent(fast, naive)
+
+    def test_64_nodes_phase_array(self):
+        fast, naive = run_pair(
+            app="em", network="fsoi", num_nodes=64, seed=2, cycles=900
+        )
+        assert_equivalent(fast, naive)
+
+    def test_faults_on(self):
+        fast, naive = run_pair(
+            app="oc", network="fsoi", num_nodes=16, seed=4, faults=FAULT_PLAN
+        )
+        assert_equivalent(fast, naive)
+
+    def test_low_activity_run_actually_skips(self):
+        # Ocean on the ideal L0 network has windows where every core is
+        # blocked at a barrier or on memory — real gaps between events.
+        fast, naive = run_pair(app="oc", network="l0", num_nodes=16, seed=1)
+        loop = assert_equivalent(fast, naive)
+        assert loop["skipped_cycles"] > 0
+
+    @settings(
+        max_examples=8,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        app=st.sampled_from(["oc", "ba", "mp", "ws"]),
+        network=st.sampled_from(["fsoi", "mesh", "lr2"]),
+        seed=st.integers(min_value=0, max_value=50),
+        cycles=st.integers(min_value=50, max_value=800),
+    )
+    def test_property_equivalence(self, app, network, seed, cycles):
+        fast, naive = run_pair(
+            app=app, network=network, num_nodes=16, seed=seed, cycles=cycles
+        )
+        assert_equivalent(fast, naive)
+
+    def test_run_until_instructions_stops_at_same_cycle(self):
+        systems = [
+            CmpSystem(CmpConfig(
+                app="lu", network="l0", num_nodes=16, seed=1,
+                fast_forward=fast_forward,
+            ))
+            for fast_forward in (True, False)
+        ]
+        results = [s.run_until_instructions(20_000) for s in systems]
+        assert results[0].cycles == results[1].cycles
+        assert results[0].instructions == results[1].instructions
+
+
+class TestEscapeHatches:
+    def test_config_flag_disables_skipping(self):
+        system = CmpSystem(CmpConfig(
+            app="lu", network="l0", num_nodes=16, seed=1, fast_forward=False
+        ))
+        result = system.run(1200)
+        assert result.loop == {"executed_cycles": 1200, "skipped_cycles": 0}
+
+    def test_env_hatch_disables_skipping(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_FASTFORWARD", "1")
+        system = CmpSystem(CmpConfig(app="lu", network="l0", num_nodes=16, seed=1))
+        result = system.run(1200)
+        assert result.loop == {"executed_cycles": 1200, "skipped_cycles": 0}
+
+    def test_env_hatch_zero_means_enabled(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_FASTFORWARD", "0")
+        system = CmpSystem(CmpConfig(app="oc", network="l0", num_nodes=16, seed=1))
+        assert system.run(1200).loop["skipped_cycles"] > 0
+
+
+class TestCalendarClamps:
+    """The old dict calendar silently stranded past-cycle entries
+    (``_calendar.pop(cycle, ())`` never revisited a drained key).  The
+    two schedulers now make that impossible: ``CmpSystem._at`` clamps a
+    past/present cycle to "run now", and the FSOI network refuses it
+    loudly.
+    """
+
+    def test_system_at_runs_past_cycles_immediately(self):
+        system = CmpSystem(CmpConfig(app="oc", network="l0", num_nodes=16, seed=0))
+        system.run(100)
+        fired = []
+        system._at(50, lambda: fired.append("past"))
+        system._at(system.cycle, lambda: fired.append("present"))
+        assert fired == ["past", "present"]
+        system._at(system.cycle + 5, lambda: fired.append("future"))
+        assert fired == ["past", "present"]  # future entries wait
+        system.run(10)
+        assert fired == ["past", "present", "future"]
+
+    def test_fsoi_schedule_rejects_past_cycles(self):
+        from repro.core.network import FsoiConfig, FsoiNetwork
+
+        net = FsoiNetwork(FsoiConfig(num_nodes=16, seed=0))
+        for cycle in range(6):
+            net.tick(cycle)
+        with pytest.raises(ValueError, match="already ticked cycle 5"):
+            net._schedule(5, lambda: None)
+        with pytest.raises(ValueError, match="cannot schedule"):
+            net._schedule(0, lambda: None)
+        net._schedule(6, lambda: None)  # the future is still fine
+
+
+class TestLoopAccounting:
+    def test_counters_cover_the_window(self):
+        system = CmpSystem(CmpConfig(app="oc", network="fsoi", num_nodes=16, seed=0))
+        result = system.run(2000)
+        loop = result.loop
+        assert loop["executed_cycles"] + loop["skipped_cycles"] == 2000
+        assert result.cycles == 2000
+
+    def test_round_trips_through_to_dict(self):
+        from repro.cmp.results import CmpResults
+
+        system = CmpSystem(CmpConfig(app="oc", network="l0", num_nodes=16, seed=0))
+        result = system.run(600)
+        clone = CmpResults.from_dict(result.to_dict())
+        assert clone.loop == result.loop
+
+    def test_old_results_load_without_loop_field(self):
+        from repro.cmp.results import CmpResults
+
+        system = CmpSystem(CmpConfig(app="oc", network="l0", num_nodes=16, seed=0))
+        data = system.run(400).to_dict()
+        del data["loop"]  # a result saved before the loop field existed
+        assert CmpResults.from_dict(data).loop == {}
