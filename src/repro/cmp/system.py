@@ -104,6 +104,12 @@ class CmpConfig:
     #: either way; disable here (or via REPRO_NO_FASTFORWARD=1) only to
     #: cross-check or to step the naive loop under a debugger.
     fast_forward: bool = True
+    #: Columnar vectorized cores phase: per-node counters and deadlines
+    #: live in numpy arrays, passive nodes cost nothing per cycle and
+    #: RNG draws replay from buffered raw words (docs/performance.md).
+    #: Results are bit-identical either way; disable here (or via
+    #: REPRO_NO_VECTOR=1) to run the object-per-node reference loop.
+    vectorized: bool = True
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -167,6 +173,10 @@ class CmpSystem:
         self._fast_forward = config.fast_forward and os.environ.get(
             "REPRO_NO_FASTFORWARD", ""
         ) in ("", "0")
+        self._vector_on = config.vectorized and os.environ.get(
+            "REPRO_NO_VECTOR", ""
+        ) in ("", "0")
+        self._overflow_active: set[int] = set()  # nodes with queued packets
         # §4.4 per-line ordering: (node, line) -> queued (msg, delay).
         self._line_pending: dict[tuple[int, int], deque] = {}
 
@@ -204,21 +214,51 @@ class CmpSystem:
             for node in range(n)
         ]
 
-        # Cores and synchronization.
+        # Cores and synchronization.  The vectorized engine and the
+        # object-per-node loop are bit-exact alternatives
+        # (tests/cmp/test_vector_equivalence.py); the replayed RNGs
+        # reproduce the named streams' exact draw sequences.
         self.sync = SyncManager(n, subscription=opts.llsc_subscription)
         app = config.app_signature
         self.app_label = app.label
-        self.cores = [
-            Core(
-                node,
-                AppWorkload(app, node, n),
-                self.l1s[node],
-                self.sync,
-                config.core,
-                rng=self._rng.stream(f"core.{node}"),
+        if self._vector_on:
+            from repro.cpu.vector import (
+                ColumnarCore,
+                ReplayRng,
+                VectorCoreEngine,
             )
-            for node in range(n)
-        ]
+            from repro.util.rng import derive_seed
+
+            self._vector = VectorCoreEngine(self)
+            self.cores = [
+                ColumnarCore(
+                    self._vector,
+                    node,
+                    AppWorkload(app, node, n),
+                    self.l1s[node],
+                    self.sync,
+                    config.core,
+                    rng=ReplayRng(derive_seed(config.seed, f"core.{node}")),
+                    stats=self._vector.stats_for(node),
+                )
+                for node in range(n)
+            ]
+            self._core_phase = self._vector.core_phase
+        else:
+            self._vector = None
+            self.cores = [
+                Core(
+                    node,
+                    AppWorkload(app, node, n),
+                    self.l1s[node],
+                    self.sync,
+                    config.core,
+                    rng=self._rng.stream(f"core.{node}"),
+                )
+                for node in range(n)
+            ]
+            self._core_phase = self._tick_cores
+        self._controllers = tuple(self.memory.values())
         if opts.llsc_subscription:
             self.sync.on_barrier_release = self._signal_barrier_release
             self.sync.on_lock_release = self._signal_lock_release
@@ -397,6 +437,7 @@ class CmpSystem:
         queue = self._overflow[node]
         if queue or not self.network.try_send(packet, self.cycle):
             queue.append(packet)
+            self._overflow_active.add(node)
 
     def _packetize(self, node: int, msg: CoherenceMessage) -> Packet:
         mtype = msg.mtype
@@ -504,16 +545,30 @@ class CmpSystem:
         due = self._due
         if due and due[0][0] <= cycle:
             self._calendar.run_due(cycle)  # due events
-        for node, queue in enumerate(self._overflow):
-            while queue and self.network.try_send(queue[0], cycle):
-                queue.popleft()
-        for controller in self.memory.values():
+        if self._overflow_active:
+            self._drain_overflow(cycle)
+        for controller in self._controllers:
             controller.tick(cycle)
         self.network.tick(cycle)
-        for core in self.cores:
-            core.tick(cycle)
+        self._core_phase(cycle)
         self.executed_cycles += 1
         self.cycle = cycle + 1
+
+    def _drain_overflow(self, cycle: int) -> None:
+        # Node order matters for injection fairness; only nodes with a
+        # backed-up queue are visited (the naive sweep's empty-queue
+        # iterations were pure overhead).
+        for node in sorted(self._overflow_active):
+            queue = self._overflow[node]
+            while queue and self.network.try_send(queue[0], cycle):
+                queue.popleft()
+            if not queue:
+                self._overflow_active.discard(node)
+
+    def _tick_cores(self, cycle: int) -> None:
+        """The reference cores phase: tick every core object."""
+        for core in self.cores:
+            core.tick(cycle)
 
     def _tick_profiled(self) -> None:
         """The :meth:`tick` body with per-subsystem wall-time attribution.
@@ -530,20 +585,18 @@ class CmpSystem:
             self._calendar.run_due(cycle)  # due events
         t1 = perf_counter()
         PROFILER.add("calendar", t1 - t0)
-        for node, queue in enumerate(self._overflow):
-            while queue and self.network.try_send(queue[0], cycle):
-                queue.popleft()
+        if self._overflow_active:
+            self._drain_overflow(cycle)
         t2 = perf_counter()
         PROFILER.add("overflow", t2 - t1)
-        for controller in self.memory.values():
+        for controller in self._controllers:
             controller.tick(cycle)
         t3 = perf_counter()
         PROFILER.add("memory", t3 - t2)
         self.network.tick(cycle)
         t4 = perf_counter()
         PROFILER.add("network", t4 - t3)
-        for core in self.cores:
-            core.tick(cycle)
+        self._core_phase(cycle)
         PROFILER.add("cores", perf_counter() - t4)
         PROFILER.cycle_done()
         self.executed_cycles += 1
@@ -573,21 +626,28 @@ class CmpSystem:
             if c <= cycle:  # pragma: no cover - _at clamps past cycles
                 return cycle
             horizon = c
-        for queue in self._overflow:
-            if queue:
-                # A backed-up injection retries (and counts a refusal)
-                # every cycle, exactly as the naive loop does.
-                return cycle
-        for index, core in enumerate(self.cores):
-            c = core.next_event(cycle)
+        if self._overflow_active:
+            # A backed-up injection retries (and counts a refusal)
+            # every cycle, exactly as the naive loop does.
+            return cycle
+        if self._vector is not None:
+            c = self._vector.next_core_event(cycle)
             if c is not None:
                 if c <= cycle:
-                    if core.state is CoreState.RUNNING:
-                        self._pin_core = index
                     return cycle
                 if horizon is None or c < horizon:
                     horizon = c
-        for controller in self.memory.values():
+        else:
+            for index, core in enumerate(self.cores):
+                c = core.next_event(cycle)
+                if c is not None:
+                    if c <= cycle:
+                        if core.state is CoreState.RUNNING:
+                            self._pin_core = index
+                        return cycle
+                    if horizon is None or c < horizon:
+                        horizon = c
+        for controller in self._controllers:
             c = controller.next_event(cycle)
             if c is not None:
                 if c <= cycle:
@@ -615,8 +675,11 @@ class CmpSystem:
         gap = end - start
         if gap <= 0:  # pragma: no cover - callers guarantee end > cycle
             return
-        for core in self.cores:
-            core.skip(gap)
+        if self._vector is None:
+            for core in self.cores:
+                core.skip(gap)
+        # else: the columnar ledger accrues the jumped span lazily at
+        # the next transition or flush — no per-core work at all.
         self.network.skip(start, end)
         self.skipped_cycles += gap
         if TRACE.enabled:
@@ -749,6 +812,9 @@ class CmpSystem:
     # ------------------------------------------------------------------
 
     def _results(self) -> CmpResults:
+        if self._vector is not None:
+            self._vector.flush()
+
         def merge(groups) -> dict[str, int]:
             out: dict[str, int] = {}
             for group in groups:

@@ -393,6 +393,12 @@ class FsoiNetwork(Interconnect):
     def _start_slot(self, lane: LaneKind, cycle: int) -> None:
         lane_stats = self._lane_stats[lane]
         lane_stats["slots"].add()
+        if self._lane_pending[lane] == 0 and self._injector is None:
+            # Idle slot: no queued or retransmitting packet on this lane
+            # (``_lane_pending`` counts both), so the per-node gather
+            # below would find nothing.  Only safe without an injector —
+            # lane-sparing probes have per-slot side effects of their own.
+            return
         slot_len = self.lanes.slot_cycles(lane)
         inj = self._injector
 

@@ -38,7 +38,7 @@ class OpKind(Enum):
     LOCK = auto()     # lock acquire + hold + release episode
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Op:
     kind: OpKind
     line: int = 0

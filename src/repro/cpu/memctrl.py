@@ -61,6 +61,12 @@ class MemoryController:
     :meth:`tick`; replies (MEM_ACK) go out through the supplied ``send``.
     """
 
+    __slots__ = (
+        "node", "send", "config", "_queue", "_busy_until", "stats",
+        "reads", "writes", "queue_wait", "_arrival", "_occupancy",
+        "_reply_delay",
+    )
+
     def __init__(
         self,
         node: int,
@@ -79,6 +85,10 @@ class MemoryController:
         self.writes = stats.counter("writes")
         self.queue_wait = stats.latency("queue_wait")
         self._arrival: dict[int, int] = {}
+        # tick() runs every cycle for every controller; hoist the two
+        # config-derived constants out of the per-transfer path.
+        self._occupancy = self.config.occupancy_cycles
+        self._reply_delay = self.config.latency + self._occupancy
 
     def handle(self, msg: CoherenceMessage, cycle: int) -> None:
         if msg.mtype not in (MsgType.MEM_READ, MsgType.MEM_WRITE):
@@ -92,12 +102,12 @@ class MemoryController:
             return
         msg = self._queue.popleft()
         self.queue_wait.record(cycle - self._arrival.pop(msg.uid))
-        self._busy_until = cycle + self.config.occupancy_cycles
+        self._busy_until = cycle + self._occupancy
         if msg.mtype is MsgType.MEM_WRITE:
             self.writes.add()
             return  # fire-and-forget
         self.reads.add()
-        reply_delay = self.config.latency + self.config.occupancy_cycles
+        reply_delay = self._reply_delay
         self.send(
             CoherenceMessage(
                 mtype=MsgType.MEM_ACK,

@@ -14,6 +14,8 @@ __all__ = ["MshrFile"]
 class MshrFile:
     """Tracks lines with in-flight misses; bounded capacity."""
 
+    __slots__ = ("limit", "_lines", "allocation_failures")
+
     def __init__(self, limit: int = 8):
         if limit < 1:
             raise ValueError(f"need at least one MSHR: {limit}")

@@ -7,88 +7,53 @@ the ``loop`` accounting field, which exists to describe the difference)
 and identical metrics-registry snapshots.  These tests pin that down
 across networks, seeds, system sizes and fault plans, plus the two
 escape hatches (``CmpConfig.fast_forward`` and ``REPRO_NO_FASTFORWARD``).
-"""
 
-import json
+The run-both-and-diff machinery is shared with the vectorized-engine
+suite (``test_vector_equivalence.py``) via ``tests/conftest.py``.
+"""
 
 import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.cmp import CmpConfig, CmpSystem
-from repro.faults import ConfirmationDrop, FaultPlan, LaneFault
-from repro.sweep import canonical_json
-
-FAULT_PLAN = FaultPlan(
-    label="ff-equivalence",
-    lane_faults=(LaneFault(3, "data", start=200, end=900),),
-    confirmation_drops=(ConfirmationDrop(0.05),),
-    seed=11,
-)
-
-
-def run_pair(cycles: int = 1200, **config_kwargs):
-    """(fast-forward, naive) result/metrics pairs for one config."""
-    outputs = []
-    for fast_forward in (True, False):
-        system = CmpSystem(
-            CmpConfig(fast_forward=fast_forward, **config_kwargs)
-        )
-        result = system.run(cycles)
-        metrics = json.loads(canonical_json(system.metrics_registry().snapshot()))
-        outputs.append((result, metrics))
-    return outputs
-
-
-def assert_equivalent(fast, naive):
-    fast_result, fast_metrics = fast
-    naive_result, naive_metrics = naive
-    fast_dict = fast_result.to_dict()
-    naive_dict = naive_result.to_dict()
-    fast_loop = fast_dict.pop("loop")
-    naive_loop = naive_dict.pop("loop")
-    assert canonical_json(fast_dict) == canonical_json(naive_dict)
-    assert fast_metrics == naive_metrics
-    # The naive loop executes every cycle; the fast-forward loop covers
-    # the same window as executed + skipped.
-    assert naive_loop["skipped_cycles"] == 0
-    total = fast_loop["executed_cycles"] + fast_loop["skipped_cycles"]
-    assert total == naive_loop["executed_cycles"]
-    return fast_loop
+from tests.conftest import EQUIVALENCE_FAULT_PLAN, compare_engine_pair
 
 
 class TestEquivalence:
     @pytest.mark.parametrize(
         "network", ("fsoi", "mesh", "l0", "lr1", "lr2", "corona")
     )
-    def test_all_networks(self, network):
-        fast, naive = run_pair(
-            app="oc", network=network, num_nodes=16, seed=1
+    def test_all_networks(self, compare_engines, network):
+        compare_engines(
+            "fast_forward", app="oc", network=network, num_nodes=16, seed=1
         )
-        assert_equivalent(fast, naive)
 
     @pytest.mark.parametrize("seed", (0, 7))
-    def test_seeds(self, seed):
-        fast, naive = run_pair(app="ba", network="fsoi", num_nodes=16, seed=seed)
-        assert_equivalent(fast, naive)
-
-    def test_64_nodes_phase_array(self):
-        fast, naive = run_pair(
-            app="em", network="fsoi", num_nodes=64, seed=2, cycles=900
+    def test_seeds(self, compare_engines, seed):
+        compare_engines(
+            "fast_forward", app="ba", network="fsoi", num_nodes=16, seed=seed
         )
-        assert_equivalent(fast, naive)
 
-    def test_faults_on(self):
-        fast, naive = run_pair(
-            app="oc", network="fsoi", num_nodes=16, seed=4, faults=FAULT_PLAN
+    def test_64_nodes_phase_array(self, compare_engines):
+        compare_engines(
+            "fast_forward",
+            app="em", network="fsoi", num_nodes=64, seed=2, cycles=900,
         )
-        assert_equivalent(fast, naive)
 
-    def test_low_activity_run_actually_skips(self):
+    def test_faults_on(self, compare_engines):
+        compare_engines(
+            "fast_forward",
+            app="oc", network="fsoi", num_nodes=16, seed=4,
+            faults=EQUIVALENCE_FAULT_PLAN,
+        )
+
+    def test_low_activity_run_actually_skips(self, compare_engines):
         # Ocean on the ideal L0 network has windows where every core is
         # blocked at a barrier or on memory — real gaps between events.
-        fast, naive = run_pair(app="oc", network="l0", num_nodes=16, seed=1)
-        loop = assert_equivalent(fast, naive)
+        loop = compare_engines(
+            "fast_forward", app="oc", network="l0", num_nodes=16, seed=1
+        )
         assert loop["skipped_cycles"] > 0
 
     @settings(
@@ -103,10 +68,10 @@ class TestEquivalence:
         cycles=st.integers(min_value=50, max_value=800),
     )
     def test_property_equivalence(self, app, network, seed, cycles):
-        fast, naive = run_pair(
-            app=app, network=network, num_nodes=16, seed=seed, cycles=cycles
+        compare_engine_pair(
+            "fast_forward",
+            app=app, network=network, num_nodes=16, seed=seed, cycles=cycles,
         )
-        assert_equivalent(fast, naive)
 
     def test_run_until_instructions_stops_at_same_cycle(self):
         systems = [
