@@ -104,11 +104,14 @@ class CmpConfig:
     #: either way; disable here (or via REPRO_NO_FASTFORWARD=1) only to
     #: cross-check or to step the naive loop under a debugger.
     fast_forward: bool = True
-    #: Columnar vectorized cores phase: per-node counters and deadlines
-    #: live in numpy arrays, passive nodes cost nothing per cycle and
-    #: RNG draws replay from buffered raw words (docs/performance.md).
-    #: Results are bit-identical either way; disable here (or via
-    #: REPRO_NO_VECTOR=1) to run the object-per-node reference loop.
+    #: Columnar vectorized engines: the cores phase keeps per-node
+    #: counters and deadlines in numpy arrays with replayed RNG draws,
+    #: and the network tick (mesh and FSOI) derives per-cycle worklists
+    #: and fast-forward horizons from write-through readiness columns,
+    #: so passive nodes/routers/lanes cost nothing per cycle
+    #: (docs/performance.md).  Results are bit-identical either way;
+    #: disable here (or via REPRO_NO_VECTOR=1) to run the
+    #: object-per-entity reference loops.
     vectorized: bool = True
     seed: int = 0
 
@@ -160,6 +163,13 @@ class CmpSystem:
         n = config.num_nodes
         self._rng = RngHub(config.seed)
 
+        # The vectorized flag covers both columnar engines — the cores
+        # phase (repro.cpu.vector) and the network tick (repro.mesh.vector
+        # / repro.core.vector) — so it must be resolved before the
+        # network is built.
+        self._vector_on = config.vectorized and os.environ.get(
+            "REPRO_NO_VECTOR", ""
+        ) in ("", "0")
         self.network = self._build_network()
         self._is_fsoi = isinstance(self.network, FsoiNetwork)
         self._calendar = CycleCalendar()
@@ -172,9 +182,6 @@ class CmpSystem:
         self._due = self._calendar._heap  # cached guard (never rebound)
         self._fast_forward = config.fast_forward and os.environ.get(
             "REPRO_NO_FASTFORWARD", ""
-        ) in ("", "0")
-        self._vector_on = config.vectorized and os.environ.get(
-            "REPRO_NO_VECTOR", ""
         ) in ("", "0")
         self._overflow_active: set[int] = set()  # nodes with queued packets
         # §4.4 per-line ordering: (node, line) -> queued (msg, delay).
@@ -343,7 +350,12 @@ class CmpSystem:
                 fsoi_kwargs["lanes"] = config.fsoi_lanes
             if config.faults is not None:
                 fsoi_kwargs["faults"] = config.faults
-            return FsoiNetwork(
+            fsoi_cls = FsoiNetwork
+            if self._vector_on:
+                from repro.core.vector import VectorFsoiNetwork
+
+                fsoi_cls = VectorFsoiNetwork
+            return fsoi_cls(
                 FsoiConfig(
                     num_nodes=n,
                     optimizations=config.optimizations,
@@ -355,7 +367,12 @@ class CmpSystem:
                 rng=self._rng.child("fsoi"),
             )
         if kind == "mesh":
-            return MeshNetwork(
+            mesh_cls = MeshNetwork
+            if self._vector_on:
+                from repro.mesh.vector import VectorMeshNetwork
+
+                mesh_cls = VectorMeshNetwork
+            return mesh_cls(
                 MeshConfig(
                     num_nodes=n, bandwidth_scale=config.mesh_bandwidth_scale
                 )

@@ -141,9 +141,10 @@ class _RetxEntry:
 class _LaneState:
     """Per-(node, lane) transmit state."""
 
-    __slots__ = ("queue", "retx", "opa", "retx_seq")
+    __slots__ = ("node", "queue", "retx", "opa", "retx_seq")
 
-    def __init__(self, phase_array: bool, setup_cycles: int):
+    def __init__(self, node: int, phase_array: bool, setup_cycles: int):
+        self.node = node
         self.queue: deque[Packet] = deque()
         self.retx: list[_RetxEntry] = []
         self.opa = PhaseArray(setup_cycles) if phase_array else None
@@ -183,8 +184,8 @@ class FsoiNetwork(Interconnect):
 
         self._state: dict[LaneKind, list[_LaneState]] = {
             lane: [
-                _LaneState(config.phase_array, config.phase_setup_cycles)
-                for _ in range(config.num_nodes)
+                _LaneState(node, config.phase_array, config.phase_setup_cycles)
+                for node in range(config.num_nodes)
             ]
             for lane in (LaneKind.META, LaneKind.DATA)
         }
@@ -201,11 +202,13 @@ class FsoiNetwork(Interconnect):
         # incrementally so quiescent() and the fast-forward horizon are
         # O(1) checks instead of O(N·lanes) scans per tick.
         self._lane_pending = {LaneKind.META: 0, LaneKind.DATA: 0}
-        # Slot lengths, precomputed once for the tick/horizon hot paths.
+        # Slot lengths, precomputed once for the tick/horizon hot paths
+        # (the tuple form avoids a dict-view allocation every cycle).
         self._slot_len = {
             lane: config.lanes.slot_cycles(lane)
             for lane in (LaneKind.META, LaneKind.DATA)
         }
+        self._slot_items = tuple(self._slot_len.items())
         self._reservations = [SlotReservations() for _ in range(config.num_nodes)]
         self._expected = [ExpectedReplies() for _ in range(config.num_nodes)]
         # Unslotted mode: per-(node, lane) transmitter busy horizon and
@@ -298,6 +301,7 @@ class FsoiNetwork(Interconnect):
             self._expected[packet.src].expect(packet.dst)
         state.queue.append(packet)
         self._lane_pending[packet.lane] += 1
+        self._note_lane_state(packet.lane, packet.src)
         self.stats.sent.add()
         return True
 
@@ -311,7 +315,7 @@ class FsoiNetwork(Interconnect):
         due = self._due
         if due and due[0][0] <= cycle:
             self._calendar.run_due(cycle)  # scheduled outcomes
-        for lane, slot_len in self._slot_len.items():
+        for lane, slot_len in self._slot_items:
             if not self.config.slotted:
                 self._start_unslotted(lane, cycle)
             elif cycle % slot_len == 0:
@@ -609,16 +613,32 @@ class FsoiNetwork(Interconnect):
     def _pick_transmission(
         self, lane: LaneKind, state: _LaneState, cycle: int
     ) -> Packet | None:
-        due = [e for e in state.retx if e.release <= cycle]
-        if due:
-            entry = min(due, key=lambda e: (e.release, e.seq))
-            state.retx.remove(entry)
+        retx = state.retx
+        if retx:  # the common path has no retransmissions pending
+            due = [e for e in retx if e.release <= cycle]
+            if due:
+                entry = min(due, key=lambda e: (e.release, e.seq))
+                retx.remove(entry)
+                self._lane_pending[lane] -= 1
+                self._note_lane_state(lane, state.node)
+                return entry.packet
+        queue = state.queue
+        if queue and queue[0].scheduled_cycle <= cycle:
             self._lane_pending[lane] -= 1
-            return entry.packet
-        if state.queue and state.queue[0].scheduled_cycle <= cycle:
-            self._lane_pending[lane] -= 1
-            return state.queue.popleft()
+            packet = queue.popleft()
+            self._note_lane_state(lane, state.node)
+            return packet
         return None
+
+    def _note_lane_state(self, lane: LaneKind, node: int) -> None:
+        """Hook: node ``node``'s pending work on ``lane`` just changed.
+
+        Called after every queue/retransmission mutation (enqueue, pick,
+        back-off, resolution-hint reschedule).  The reference engine
+        ignores it; the columnar engine (``repro.core.vector``)
+        overrides it to keep its per-node readiness columns
+        write-through.
+        """
 
     # ------------------------------------------------------------------
     # Outcomes
@@ -839,6 +859,7 @@ class FsoiNetwork(Interconnect):
         state.retx_seq += 1
         state.retx.append(_RetxEntry(release, state.retx_seq, packet))
         self._lane_pending[lane] += 1
+        self._note_lane_state(lane, packet.src)
         if TRACE.enabled:
             TRACE.emit(
                 "backoff", cat="fsoi", cycle=base_cycle, node=packet.src,
@@ -904,6 +925,7 @@ class FsoiNetwork(Interconnect):
                 _RetxEntry(cycle + slot_len, state.retx_seq, winner)
             )
             self._lane_pending[LaneKind.DATA] += 1
+            self._note_lane_state(LaneKind.DATA, winner.src)
             if TRACE.enabled:
                 TRACE.emit(
                     "hint", cat="fsoi", cycle=cycle, node=dst,
@@ -919,6 +941,7 @@ class FsoiNetwork(Interconnect):
             self._hint_stats["wrong_winner"].add()
             entry = min(state.retx, key=lambda e: (e.release, e.seq))
             entry.release = cycle + slot_len
+            self._note_lane_state(LaneKind.DATA, chosen)
             outcome = "wrong_winner"
         else:
             self._hint_stats["ignored"].add()

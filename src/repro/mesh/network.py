@@ -59,18 +59,7 @@ class MeshNetwork(Interconnect):
         super().__init__(config.num_nodes)
         self.config = config
         self.side = mesh_side(config.num_nodes)
-        self.routers = [
-            Router(
-                node=i,
-                side=self.side,
-                num_vcs=config.num_vcs,
-                buffer_flits=config.buffer_flits,
-                router_latency=config.router_latency,
-                link_latency=config.link_latency,
-                deliver=self._on_eject,
-            )
-            for i in range(config.num_nodes)
-        ]
+        self.routers = self._build_routers()
         for i, router in enumerate(self.routers):
             for port in (Port.EAST, Port.WEST, Port.NORTH, Port.SOUTH):
                 try:
@@ -87,6 +76,23 @@ class MeshNetwork(Interconnect):
         ] * config.num_nodes
         self._deliveries: dict[int, list[Packet]] = {}
         self._hops = self.stats.group.latency("hops")
+
+    def _build_routers(self) -> list[Router]:
+        """Router construction hook; the vector engine substitutes its
+        write-through subclass here (``repro.mesh.vector``)."""
+        config = self.config
+        return [
+            Router(
+                node=i,
+                side=self.side,
+                num_vcs=config.num_vcs,
+                buffer_flits=config.buffer_flits,
+                router_latency=config.router_latency,
+                link_latency=config.link_latency,
+                deliver=self._on_eject,
+            )
+            for i in range(config.num_nodes)
+        ]
 
     # -- Interconnect interface ----------------------------------------------
 
@@ -126,12 +132,30 @@ class MeshNetwork(Interconnect):
 
     def next_event(self, cycle: int) -> int | None:
         """Fast-forward horizon: min over pending ejections, per-router
-        head-flit readiness, and injection work (which can make progress
-        on any cycle, so it pins the horizon to "now")."""
-        if any(state is not None for state in self._inject_state):
-            return cycle
-        if any(self._inject_queues):
-            return cycle
+        head-flit readiness, and injection *progress*.
+
+        An injection slot pins the horizon to "now" only when it can
+        actually advance this cycle: an in-flight packet with a credit
+        on its allocated VC, or a fresh queue head with an allocatable
+        VC.  A credit- or VC-blocked injection unblocks only after its
+        local router forwards a flit, and any router forward happens no
+        earlier than the router readiness horizons already in the min —
+        so reporting the future horizon instead of "now" is exact, and
+        lets fast-forward engage on mesh runs whose only live work is
+        buffered traffic maturing through router/link latencies.
+        """
+        for node, state in enumerate(self._inject_state):
+            if state is None:
+                continue
+            if self.routers[node].credits(Port.LOCAL, state[1]) > 0:
+                return cycle
+        for node, queue in enumerate(self._inject_queues):
+            if (
+                queue
+                and self._inject_state[node] is None
+                and self._allocate_injection_vc(self.routers[node]) is not None
+            ):
+                return cycle
         horizon = min(self._deliveries) if self._deliveries else None
         if horizon is not None and horizon <= cycle:
             return cycle

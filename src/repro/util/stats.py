@@ -73,7 +73,7 @@ class LatencyStat:
 
     def record(self, value: float) -> None:
         value = float(value)
-        if math.isnan(value):
+        if value != value:  # NaN check without a math-module call
             raise ValueError(f"{self.name}: cannot record NaN")
         self.samples.append(value)
         self._sorted = None
