@@ -40,7 +40,12 @@ from pathlib import Path
 from typing import Any, Iterable, Optional
 
 from repro.sweep.cache import code_version as current_code_version
-from repro.sweep.runner import SweepReport, load_jsonl, metrics_filename
+from repro.sweep.runner import (
+    SweepReport,
+    load_jsonl,
+    metrics_filename,
+    timeline_filename,
+)
 from repro.sweep.spec import SweepPoint, canonical_json
 
 __all__ = ["LedgerPoint", "RunDiff", "RunInfo", "RunStore"]
@@ -73,6 +78,7 @@ CREATE TABLE IF NOT EXISTS points (
     point_json   TEXT NOT NULL,
     result_json  TEXT,
     metrics_json TEXT,
+    timeline_json TEXT,
     PRIMARY KEY (run_id, idx)
 );
 CREATE INDEX IF NOT EXISTS points_by_axes
@@ -124,6 +130,10 @@ class LedgerPoint:
     point: dict
     result: Optional[dict]
     metrics: Optional[dict]
+    #: Parsed timeline archive ({"meta", "cycles", "deltas"} — the
+    #: load_timeline_jsonl shape) when the run was ingested with a
+    #: ``timeline_dir``; ``None`` otherwise.
+    timeline: Optional[dict] = None
 
     @property
     def ok(self) -> bool:
@@ -208,6 +218,15 @@ class RunStore:
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._conn = sqlite3.connect(str(self.path))
         self._conn.executescript(_SCHEMA)
+        try:
+            # Migrate ledgers created before timeline ingestion existed;
+            # a fresh schema raises "duplicate column name", which is
+            # exactly the no-op we want.
+            self._conn.execute(
+                "ALTER TABLE points ADD COLUMN timeline_json TEXT"
+            )
+        except sqlite3.OperationalError:
+            pass
 
     # -- lifecycle ------------------------------------------------------
 
@@ -229,6 +248,7 @@ class RunStore:
         run_id: Optional[str] = None,
         label: str = "",
         metrics_dir=None,
+        timeline_dir=None,
         code_version: Optional[str] = None,
         created_at: Optional[str] = None,
     ) -> RunInfo:
@@ -237,7 +257,9 @@ class RunStore:
         Corrupt/truncated lines are skipped (``load_jsonl`` non-strict):
         an interrupted sweep's surviving records still ingest.  With
         ``metrics_dir`` set, each point's metrics-registry archive
-        (named by :func:`repro.sweep.metrics_filename`) is attached.
+        (named by :func:`repro.sweep.metrics_filename`) is attached;
+        with ``timeline_dir`` set, its windowed timeline archive
+        (named by :func:`repro.sweep.timeline_filename`) likewise.
         """
         records = load_jsonl(jsonl_path, strict=False)
         rows = [
@@ -259,6 +281,7 @@ class RunStore:
             label=label,
             source=str(jsonl_path),
             metrics_dir=metrics_dir,
+            timeline_dir=timeline_dir,
             code_version=code_version,
             created_at=created_at,
         )
@@ -270,6 +293,7 @@ class RunStore:
         run_id: Optional[str] = None,
         label: str = "",
         metrics_dir=None,
+        timeline_dir=None,
         code_version: Optional[str] = None,
         created_at: Optional[str] = None,
     ) -> RunInfo:
@@ -299,13 +323,14 @@ class RunStore:
             label=label,
             source=source,
             metrics_dir=metrics_dir,
+            timeline_dir=timeline_dir,
             code_version=code_version,
             created_at=created_at,
         )
 
     def _ingest(
-        self, rows, *, run_id, label, source, metrics_dir, code_version,
-        created_at,
+        self, rows, *, run_id, label, source, metrics_dir, timeline_dir,
+        code_version, created_at,
     ) -> RunInfo:
         version = code_version or current_code_version()
         if run_id is None:
@@ -336,9 +361,10 @@ class RunStore:
             for row in rows:
                 point = row["point"]
                 metrics = self._load_metrics(metrics_dir, point)
+                timeline = self._load_timeline(timeline_dir, point)
                 self._conn.execute(
                     "INSERT INTO points VALUES "
-                    "(?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                    "(?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
                     (
                         run_id,
                         row["index"],
@@ -359,6 +385,8 @@ class RunStore:
                         canonical_json(row["result"])
                         if row["result"] is not None else None,
                         canonical_json(metrics) if metrics is not None else None,
+                        canonical_json(timeline)
+                        if timeline is not None else None,
                     ),
                 )
         return info
@@ -374,6 +402,26 @@ class RunStore:
             with open(path) as handle:
                 return json.load(handle)
         except (FileNotFoundError, json.JSONDecodeError):
+            return None
+
+    @staticmethod
+    def _load_timeline(timeline_dir, point_dict: dict) -> Optional[dict]:
+        """Parse a point's timeline archive; ``None`` when absent/corrupt.
+
+        Missing archives are expected (cache hits never write one), so
+        absence degrades to a NULL column rather than failing the
+        ingest — the same policy as :meth:`_load_metrics`.
+        """
+        if timeline_dir is None:
+            return None
+        from repro.obs.timeline import load_timeline_jsonl
+
+        path = Path(timeline_dir) / timeline_filename(
+            SweepPoint.from_dict(point_dict)
+        )
+        try:
+            return load_timeline_jsonl(path)
+        except (FileNotFoundError, ValueError):
             return None
 
     # -- queries --------------------------------------------------------
@@ -434,8 +482,8 @@ class RunStore:
         cursor = self._conn.execute(
             "SELECT run_id, idx, key, app, network, num_nodes, cycles, seed, "
             "optimizations, variant, faults_label, status, cached, elapsed, "
-            f"error, point_json, result_json, metrics_json FROM points {where} "
-            "ORDER BY run_id, idx",
+            "error, point_json, result_json, metrics_json, timeline_json "
+            f"FROM points {where} ORDER BY run_id, idx",
             params,
         )
         out = []
@@ -449,6 +497,7 @@ class RunStore:
                 point=json.loads(row[15]),
                 result=json.loads(row[16]) if row[16] else None,
                 metrics=json.loads(row[17]) if row[17] else None,
+                timeline=json.loads(row[18]) if row[18] else None,
             ))
         return out
 

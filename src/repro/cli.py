@@ -19,9 +19,13 @@ Commands
 ``faults --app oc --kill 3:data --drop-confirmations 0.05``
     Run one fault-injected FSOI experiment and print the resilience
     report (see repro.faults and docs/faults.md).
-``profile --app oc --network fsoi``
+``profile --app oc --network fsoi [--json]``
     Run one experiment with per-phase wall-time profiling and print
-    the cycle-loop attribution table.
+    the cycle-loop attribution table (or a JSON document).
+``top --app oc --network fsoi [--once] [--from timeline.jsonl]``
+    Live dashboard of one running experiment: per-path sparkline rows
+    from the windowed timeline, the health watchdogs' verdict and an
+    ETA, redrawn as the run progresses (see docs/observability.md).
 ``report [--apps oc] [--out report.html]``
     Run (or ingest) a sweep, file it in the analytics run ledger,
     validate it against the paper's figure tolerance bands and render
@@ -40,7 +44,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.cmp import CmpConfig, CmpSystem, run_app
+from repro.cmp import CmpConfig, CmpSystem
 from repro.cmp.system import NETWORK_KINDS
 from repro.config import table3
 from repro.core.link import OpticalLink
@@ -73,6 +77,29 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--optimized", action="store_true",
         help="enable all §5 optimizations (FSOI only)",
+    )
+    run.add_argument(
+        "--timeline", default=None, metavar="TIMELINE.JSONL",
+        help="collect windowed time-series telemetry and write the "
+        "per-window delta archive here (see docs/observability.md)",
+    )
+    run.add_argument(
+        "--timeline-window", type=int, default=100, metavar="CYCLES",
+        help="timeline sampling window in cycles (default: %(default)s)",
+    )
+    run.add_argument(
+        "--openmetrics", default=None, metavar="METRICS.TXT",
+        help="also export the timeline totals as OpenMetrics text "
+        "(implies timeline collection)",
+    )
+    run.add_argument(
+        "--health", action="store_true",
+        help="run the invariant/anomaly watchdogs after the run and "
+        "print the health report",
+    )
+    run.add_argument(
+        "--strict-health", action="store_true",
+        help="like --health, but exit non-zero if any watchdog fires",
     )
 
     compare = sub.add_parser("compare", help="FSOI vs mesh on one app")
@@ -130,6 +157,16 @@ def build_parser() -> argparse.ArgumentParser:
         "as one JSON file in this directory",
     )
     sweep.add_argument(
+        "--timeline-dir", default=None, metavar="DIR",
+        help="archive each executed point's windowed timeline as one "
+        "JSONL file in this directory",
+    )
+    sweep.add_argument(
+        "--timeline-window", type=int, default=100, metavar="CYCLES",
+        help="timeline sampling window for --timeline-dir "
+        "(default: %(default)s)",
+    )
+    sweep.add_argument(
         "--spec", default=None, metavar="SPEC.JSON",
         help="load the grid from a JSON SweepSpec file instead of flags",
     )
@@ -183,6 +220,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics-dir", default=None, metavar="DIR",
         help="per-point metrics-registry archive directory to attach "
         "to the ledger run",
+    )
+    report.add_argument(
+        "--timeline-dir", default=None, metavar="DIR",
+        help="per-point timeline archive directory to collect and "
+        "attach to the ledger run",
     )
     report.add_argument(
         "--ledger", default=".repro-ledger.sqlite", metavar="LEDGER.SQLITE",
@@ -295,11 +337,68 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics", default=None, metavar="METRICS.{JSON,CSV}",
         help="also export the run's metrics-registry snapshot",
     )
+    trace.add_argument(
+        "--summary", action="store_true",
+        help="print a per-category/per-name event summary after the run",
+    )
+    trace.add_argument(
+        "--timeline", action="store_true",
+        help="also collect the windowed timeline and merge its counter "
+        "events (ph 'C') into the exported trace files",
+    )
+    trace.add_argument(
+        "--timeline-window", type=int, default=100, metavar="CYCLES",
+        help="timeline sampling window for --timeline "
+        "(default: %(default)s)",
+    )
 
     profile = sub.add_parser(
         "profile", help="run one experiment with cycle-loop profiling"
     )
     add_run_args(profile)
+    profile.add_argument(
+        "--json", action="store_true",
+        help="print the phase attribution as JSON instead of the table",
+    )
+
+    top = sub.add_parser(
+        "top",
+        help="live dashboard of one running experiment (sparklines + "
+        "health + ETA)",
+    )
+    add_run_args(top)
+    top.add_argument(
+        "--window", type=int, default=100, metavar="CYCLES",
+        help="timeline sampling window in cycles (default: %(default)s)",
+    )
+    top.add_argument(
+        "--refresh", type=int, default=5, metavar="WINDOWS",
+        help="redraw every this many windows (default: %(default)s)",
+    )
+    top.add_argument(
+        "--rows", type=int, default=12,
+        help="maximum sparkline rows to show (default: %(default)s)",
+    )
+    top.add_argument(
+        "--paths", default=None,
+        help="comma-separated registry path patterns to sample "
+        "(default: the standard timeline path set)",
+    )
+    top.add_argument(
+        "--once", action="store_true",
+        help="run to completion and print one final frame (no ANSI "
+        "redraws; for CI and non-interactive use)",
+    )
+    top.add_argument(
+        "--from", dest="from_timeline", default=None,
+        metavar="TIMELINE.JSONL",
+        help="render an archived timeline instead of running an "
+        "experiment (implies --once)",
+    )
+    top.add_argument(
+        "--out", default=None, metavar="TIMELINE.JSONL",
+        help="also write the collected timeline archive on exit",
+    )
 
     faults = sub.add_parser(
         "faults", help="run one fault-injected FSOI experiment"
@@ -365,6 +464,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--save-plan", default=None, metavar="PLAN.JSON",
         help="write the assembled FaultPlan as JSON and continue",
     )
+    faults.add_argument(
+        "--health", action="store_true",
+        help="run the invariant/anomaly watchdogs after the run and "
+        "print the health report (injected faults should trip them)",
+    )
+    faults.add_argument(
+        "--strict-health", action="store_true",
+        help="like --health, but exit non-zero if any watchdog fires",
+    )
 
     thermal = sub.add_parser("thermal", help="§3.3 cooling-option survey")
     thermal.add_argument("--power", type=float, default=121.0)
@@ -392,14 +500,28 @@ def _cmd_run(args) -> int:
     optimizations = (
         OptimizationConfig.all() if args.optimized else OptimizationConfig.none()
     )
-    result = run_app(
-        args.app,
-        args.network,
+    config = CmpConfig(
         num_nodes=args.nodes,
-        cycles=args.cycles,
+        app=args.app,
+        network=args.network,
         optimizations=optimizations,
         seed=args.seed,
     )
+    system = CmpSystem(config)
+    want_timeline = bool(args.timeline or args.openmetrics)
+    want_health = args.health or args.strict_health
+    timeline = None
+    if want_timeline or want_health:
+        # Health's starvation/backoff detectors read the windowed
+        # series, so --health collects a timeline even when none is
+        # exported.  Collection is non-perturbing (docs/observability.md)
+        # — the results below match a plain `repro run` bit for bit.
+        from repro.obs import timelining
+
+        with timelining(window=args.timeline_window) as timeline:
+            result = system.run(args.cycles)
+    else:
+        result = system.run(args.cycles)
     print(f"{args.app} on {args.network}, {args.nodes} nodes, "
           f"{args.cycles} cycles:")
     print(f"  instructions  {result.instructions:,}  (IPC {result.ipc:.3f})")
@@ -416,6 +538,24 @@ def _cmd_run(args) -> int:
               f"collisions {100 * result.fsoi['meta_collision_rate']:.2f}%")
         print(f"  data lane     p={result.fsoi['data_tx_probability']:.4f}, "
               f"collisions {100 * result.fsoi['data_collision_rate']:.2f}%")
+    if args.timeline:
+        windows = timeline.write_jsonl(args.timeline)
+        print(f"  timeline      {windows} windows of {args.timeline_window} "
+              f"cycles -> {args.timeline}")
+    if args.openmetrics:
+        samples = timeline.write_openmetrics(args.openmetrics)
+        print(f"  openmetrics   {samples} samples -> {args.openmetrics}")
+    if want_health:
+        from repro.obs import check_health, render_health
+
+        events = check_health(system=system, timeline=timeline)
+        result.health = [event.to_dict() for event in events]
+        for line in render_health(events).splitlines():
+            print(f"  {line}")
+        if args.strict_health and events:
+            print(f"repro run: --strict-health: {len(events)} health "
+                  "event(s) — failing")
+            return 1
     return 0
 
 
@@ -493,6 +633,8 @@ def _cmd_sweep(args) -> int:
         timeout=args.timeout,
         jsonl_path=args.out,
         metrics_path=args.metrics_dir,
+        timeline_path=args.timeline_dir,
+        timeline_window=args.timeline_window,
         progress=progress,
         heartbeat=telemetry.on_heartbeat if args.live else None,
     )
@@ -524,6 +666,9 @@ def _cmd_sweep(args) -> int:
             print(f"  FAILED {outcome.point.label()}: {outcome.error}")
     if report.jsonl_path:
         print(f"  results: {report.jsonl_path}")
+    if args.timeline_dir:
+        print(f"  timelines: {args.timeline_dir} "
+              f"(window {args.timeline_window} cycles)")
     return 1 if report.failed else 0
 
 
@@ -595,6 +740,7 @@ def _cmd_report(args) -> int:
             workers=args.workers,
             cache_dir=None if args.no_cache else args.cache_dir,
             metrics_path=args.metrics_dir,
+            timeline_path=args.timeline_dir,
             progress=telemetry.on_progress,
             heartbeat=telemetry.on_heartbeat if args.live else None,
         )
@@ -623,11 +769,13 @@ def _cmd_report(args) -> int:
                 run_info = store.ingest_report(
                     sweep_report, label=args.label,
                     metrics_dir=args.metrics_dir,
+                    timeline_dir=args.timeline_dir,
                 )
             else:
                 run_info = store.ingest_jsonl(
                     args.from_jsonl, label=args.label,
                     metrics_dir=args.metrics_dir,
+                    timeline_dir=args.timeline_dir,
                 )
             if args.diff:
                 older = [
@@ -719,11 +867,46 @@ def _traced_config(args) -> "CmpConfig":
     )
 
 
+def _trace_summary(tracer) -> str:
+    """Per-category / per-name breakdown of the retained events."""
+    from collections import Counter
+
+    names: dict[str, Counter] = {}
+    lo = hi = None
+    for event in tracer.events():
+        names.setdefault(event.cat, Counter())[event.name] += 1
+        lo = event.cycle if lo is None else min(lo, event.cycle)
+        hi = event.cycle if hi is None else max(hi, event.cycle)
+    lines = ["trace summary:"]
+    if lo is None:
+        lines.append("  (no events retained)")
+        return "\n".join(lines)
+    lines.append(f"  {len(tracer):,} events over cycles {lo:,}..{hi:,} "
+                 f"({tracer.emitted:,} emitted, {tracer.dropped:,} dropped)")
+    for cat in sorted(names):
+        counter = names[cat]
+        total = sum(counter.values())
+        detail = ", ".join(
+            f"{name} {count:,}" for name, count in counter.most_common(4)
+        )
+        if len(counter) > 4:
+            detail += f", +{len(counter) - 4} more"
+        lines.append(f"  {cat:<14} {total:>10,}  ({detail})")
+    return "\n".join(lines)
+
+
 def _cmd_trace(args) -> int:
-    from repro.obs import tracing
+    from contextlib import nullcontext
+
+    from repro.obs import timelining, tracing
 
     categories = _csv(args.categories) if args.categories else None
-    with tracing(capacity=args.buffer, categories=categories) as tracer:
+    timeline_ctx = (
+        timelining(window=args.timeline_window) if args.timeline
+        else nullcontext(None)
+    )
+    with tracing(capacity=args.buffer, categories=categories) as tracer, \
+            timeline_ctx as timeline:
         system = CmpSystem(_traced_config(args))
         result = system.run(args.cycles)
     filters = {}
@@ -731,27 +914,60 @@ def _cmd_trace(args) -> int:
         filters["node"] = args.node
     if args.lane is not None:
         filters["lane"] = args.lane
-    written = tracer.write_jsonl(args.out, **filters)
+    counters = timeline.counter_events() if timeline is not None else None
+    written = tracer.write_jsonl(args.out, extra=counters, **filters)
     print(f"{args.app} on {args.network}, {args.nodes} nodes, "
           f"{args.cycles} cycles: {result.packets_delivered:,} packets")
     print(f"  trace         {written:,} events -> {args.out} "
           f"({tracer.emitted:,} emitted, {tracer.dropped:,} dropped)")
     for cat, count in tracer.category_counts().items():
         print(f"    {cat:<12} {count:,}")
+    if counters is not None:
+        print(f"    timeline     {len(counters):,} counter events merged "
+              f"(window {args.timeline_window} cycles)")
     if args.chrome:
-        tracer.write_chrome_json(args.chrome, **filters)
+        tracer.write_chrome_json(args.chrome, extra=counters, **filters)
         print(f"  chrome trace  {args.chrome} (load in chrome://tracing)")
     if args.metrics:
         system.metrics_registry().write(args.metrics)
         print(f"  metrics       {args.metrics}")
+    if args.summary:
+        for line in _trace_summary(tracer).splitlines():
+            print(f"  {line}")
+    if tracer.dropped:
+        print(f"  warning: ring buffer overflowed — {tracer.dropped:,} of "
+              f"{tracer.emitted:,} events dropped; the exported trace is a "
+              f"truncated suffix (raise --buffer past {tracer.emitted:,} "
+              "or narrow --categories)")
     return 0
 
 
 def _cmd_profile(args) -> int:
+    import json
+
     from repro.obs import profiling
 
     with profiling() as profiler:
         result = CmpSystem(_traced_config(args)).run(args.cycles)
+    if args.json:
+        print(json.dumps(
+            {
+                "app": args.app,
+                "network": args.network,
+                "num_nodes": args.nodes,
+                "cycles": args.cycles,
+                "seed": args.seed,
+                "ipc": round(result.ipc, 6),
+                "packets_delivered": result.packets_delivered,
+                "wall_seconds": profiler.wall_seconds,
+                "attributed_seconds": profiler.attributed_seconds,
+                "total_cycles": profiler.total_cycles,
+                "phases": profiler.report(),
+            },
+            indent=1,
+            sort_keys=True,
+        ))
+        return 0
     print(f"{args.app} on {args.network}, {args.nodes} nodes, "
           f"{args.cycles} cycles: IPC {result.ipc:.3f}, "
           f"{result.packets_delivered:,} packets")
@@ -868,7 +1084,15 @@ def _cmd_faults(args) -> int:
         seed=args.seed,
     )
     system = CmpSystem(config)
-    result = system.run(args.cycles)
+    want_health = args.health or args.strict_health
+    timeline = None
+    if want_health:
+        from repro.obs import timelining
+
+        with timelining() as timeline:
+            result = system.run(args.cycles)
+    else:
+        result = system.run(args.cycles)
 
     print(f"{args.app} on fsoi, {args.nodes} nodes, {args.cycles} cycles, "
           f"plan {plan.content_hash()}:")
@@ -891,6 +1115,154 @@ def _cmd_faults(args) -> int:
     if args.metrics:
         system.metrics_registry().write(args.metrics)
         print(f"  metrics       {args.metrics}")
+    if want_health:
+        from repro.obs import check_health, render_health
+
+        events = check_health(system=system, timeline=timeline)
+        result.health = [event.to_dict() for event in events]
+        for line in render_health(events).splitlines():
+            print(f"  {line}")
+        if args.strict_health and events:
+            print(f"repro faults: --strict-health: {len(events)} health "
+                  "event(s) — failing")
+            return 1
+    return 0
+
+
+def _timeline_view(timeline) -> tuple[dict, list, dict]:
+    """``(meta, cycles, columns)`` from a live collector or archive dict.
+
+    Accepts both a :class:`repro.obs.TimelineCollector` and the
+    ``load_timeline_jsonl`` shape, so one renderer serves the live and
+    ``--from`` paths of ``repro top``.
+    """
+    if isinstance(timeline, dict):
+        meta = dict(timeline["meta"])
+        cycles = [int(c) for c in timeline["cycles"]]
+        rows = timeline["deltas"]
+    else:
+        meta = timeline.meta_record()
+        cycles = [int(c) for c in timeline.cycles()]
+        rows = timeline.matrix()
+    paths = list(meta.get("paths", ()))
+    columns = {
+        path: [float(row[i]) for row in rows]
+        for i, path in enumerate(paths)
+    }
+    return meta, cycles, columns
+
+
+def _render_top_frame(
+    timeline,
+    events,
+    *,
+    target_cycles: "int | None" = None,
+    elapsed: "float | None" = None,
+    rows: int = 12,
+    width: int = 32,
+) -> str:
+    """One ``repro top`` dashboard frame (no trailing newline)."""
+    from repro.analytics import format_eta
+    from repro.util.charts import sparkline
+
+    meta, cycles, columns = _timeline_view(timeline)
+    current = cycles[-1] if cycles else 0
+    header = (
+        f"repro top — {meta.get('app', '?')} on {meta.get('network', '?')}, "
+        f"{meta.get('num_nodes', '?')} nodes, seed {meta.get('seed', '?')} · "
+        f"window {meta.get('window', '?')}"
+    )
+    if target_cycles:
+        header += (f" · cycle {current:,}/{target_cycles:,} "
+                   f"({100 * current / target_cycles:.0f}%)")
+        if elapsed is not None and 0 < current < target_cycles:
+            eta = elapsed * (target_cycles - current) / current
+            header += f" · eta {format_eta(eta)}"
+    health = "OK" if not events else f"{len(events)} event(s)"
+    header += f" · health {health}"
+    lines = [header]
+    if not cycles:
+        lines.append("  (no windows sampled yet)")
+        return "\n".join(lines)
+    totals = {path: sum(values) for path, values in columns.items()}
+    # Busiest paths first for the cut, then back to path order so rows
+    # don't jump around between frames.
+    busiest = set(sorted(columns, key=lambda p: -abs(totals[p]))[:rows])
+    shown = [path for path in columns if path in busiest]
+    label_width = max((len(path) for path in shown), default=4)
+    lines.append(
+        f"  {'path':<{label_width}} {'last':>12} {'total':>14}  "
+        f"per-window deltas"
+    )
+    for path in shown:
+        values = columns[path]
+        lines.append(
+            f"  {path:<{label_width}} {values[-1]:>12,.6g} "
+            f"{totals[path]:>14,.6g}  {sparkline(values, width=width)}"
+        )
+    hidden = len(columns) - len(shown)
+    if hidden > 0:
+        lines.append(f"  (+{hidden} more paths; raise --rows)")
+    if meta.get("dropped_windows"):
+        lines.append(
+            f"  note: {meta['dropped_windows']:,} oldest windows dropped "
+            "from the ring (totals above stay exact)"
+        )
+    if events:
+        lines.append("health events:")
+        for event in events[-4:]:
+            lines.append(
+                f"  [{event.severity}] {event.detector} @ cycle "
+                f"{event.cycle:,}: {event.message}"
+            )
+    return "\n".join(lines)
+
+
+def _cmd_top(args) -> int:
+    import time
+
+    from repro.obs import check_health, timelining
+    from repro.obs.timeline import load_timeline_jsonl
+
+    if args.from_timeline:
+        timeline = load_timeline_jsonl(args.from_timeline)
+        events = check_health(timeline=timeline)
+        print(_render_top_frame(timeline, events, rows=args.rows))
+        return 0
+
+    system = CmpSystem(_traced_config(args))
+    paths = _csv(args.paths) if args.paths else None
+    # Slices stay window-aligned, so the sampled cycles (and any --out
+    # archive) are byte-identical to a single uninterrupted run.
+    chunk = args.window * max(1, args.refresh)
+    started = time.perf_counter()
+    events: list = []
+    with timelining(window=args.window, paths=paths) as timeline:
+        try:
+            while system.cycle < args.cycles:
+                system.run(min(chunk, args.cycles - system.cycle))
+                events = check_health(system=system, timeline=timeline)
+                if not args.once:
+                    frame = _render_top_frame(
+                        timeline, events,
+                        target_cycles=args.cycles,
+                        elapsed=time.perf_counter() - started,
+                        rows=args.rows,
+                    )
+                    sys.stdout.write("\x1b[H\x1b[2J" + frame + "\n")
+                    sys.stdout.flush()
+        except KeyboardInterrupt:
+            print()
+    if args.once:
+        print(_render_top_frame(
+            timeline, events,
+            target_cycles=args.cycles,
+            elapsed=time.perf_counter() - started,
+            rows=args.rows,
+        ))
+    if args.out:
+        windows = timeline.write_jsonl(args.out)
+        print(f"timeline: {windows} windows -> {args.out}")
     return 0
 
 
@@ -928,6 +1300,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_trace(args)
         if args.command == "profile":
             return _cmd_profile(args)
+        if args.command == "top":
+            return _cmd_top(args)
         if args.command == "faults":
             return _cmd_faults(args)
         if args.command == "thermal":

@@ -22,6 +22,7 @@ simulator.
 
 from __future__ import annotations
 
+import itertools
 import os
 from collections import deque
 from dataclasses import dataclass, field, replace
@@ -45,6 +46,7 @@ from repro.mesh.network import MeshConfig, MeshNetwork
 from repro.net.packet import Packet
 from repro.obs.profile import PROFILER
 from repro.obs.registry import MetricsRegistry
+from repro.obs.timeline import TIMELINE
 from repro.obs.trace import TRACE
 from repro.util.events import CycleCalendar
 from repro.util.rng import RngHub
@@ -184,6 +186,12 @@ class CmpSystem:
             "REPRO_NO_FASTFORWARD", ""
         ) in ("", "0")
         self._overflow_active: set[int] = set()  # nodes with queued packets
+        # Per-system packet ids: the global default factory in
+        # :class:`Packet` depends on process history, which would make
+        # trace streams (``args.packet``) differ between otherwise
+        # identical runs.  Allocating from a per-instance counter keeps
+        # seeded traces byte-reproducible across runs and engines.
+        self._packet_uid = itertools.count()
         # §4.4 per-line ordering: (node, line) -> queued (msg, delay).
         self._line_pending: dict[tuple[int, int], deque] = {}
 
@@ -469,6 +477,7 @@ class CmpSystem:
             is_memory=mtype in _MEMORY_TYPES or mtype is MsgType.MEM_ACK,
             expects_data_reply=mtype
             in (MsgType.REQ_SH, MsgType.REQ_EX, MsgType.MEM_READ),
+            uid=next(self._packet_uid),
         )
         if (
             self._is_fsoi
@@ -559,6 +568,8 @@ class CmpSystem:
         cycle = self.cycle
         if TRACE.enabled:
             TRACE.cycle = cycle
+        if TIMELINE.enabled:
+            TIMELINE.on_tick(self)
         due = self._due
         if due and due[0][0] <= cycle:
             self._calendar.run_due(cycle)  # due events
@@ -596,6 +607,8 @@ class CmpSystem:
         cycle = self.cycle
         if TRACE.enabled:
             TRACE.cycle = cycle
+        if TIMELINE.enabled:
+            TIMELINE.on_tick(self)
         t0 = perf_counter()
         due = self._due
         if due and due[0][0] <= cycle:
@@ -677,6 +690,17 @@ class CmpSystem:
                 return cycle
             if horizon is None or c < horizon:
                 horizon = c
+        if TIMELINE.enabled:
+            # Cap the jump at the next window boundary so samples land
+            # on the same cycles whether or not the loop fast-forwards.
+            # Only the loop executed/skipped split changes — results
+            # stay bit-identical (any prefix of a legal jump is legal).
+            c = TIMELINE.due_cycle(self)
+            if c is not None:
+                if c <= cycle:
+                    return cycle
+                if horizon is None or c < horizon:
+                    horizon = c
         return horizon
 
     def _skip_to(self, end: int) -> None:
@@ -731,6 +755,8 @@ class CmpSystem:
         else:
             while self.cycle < target:
                 self.tick()
+        if TIMELINE.enabled:
+            TIMELINE.on_run_end(self)  # final (possibly partial) window
         return self._results()
 
     def run_until_instructions(
@@ -753,6 +779,8 @@ class CmpSystem:
         limit = self.cycle + max_cycles
         while self.cycle < limit:
             if sum(core.instructions for core in self.cores) >= instructions:
+                if TIMELINE.enabled:
+                    TIMELINE.on_run_end(self)
                 return self._results()
             if self._fast_forward:
                 self._step(limit)
@@ -804,6 +832,13 @@ class CmpSystem:
                 "fractions": self.reply_latency.fractions(),
             },
         )
+        if TRACE.enabled:
+            # Gauges exist only while tracing so untraced metrics
+            # snapshots stay byte-identical (the fault-gauge pattern).
+            # ``dropped`` counts ring-buffer overwrites — a non-zero
+            # value means the exported trace is a truncated suffix.
+            reg.gauge("trace.emitted", lambda: TRACE.emitted)
+            reg.gauge("trace.dropped", lambda: TRACE.dropped)
         if self._is_fsoi:
             reg.gauge(
                 "confirmation.confirmations_sent",

@@ -1,6 +1,6 @@
-"""Simulation observability: metrics registry, event tracing, profiling.
+"""Simulation observability: metrics, tracing, profiling, timelines, health.
 
-Three orthogonal facilities, all designed to be **zero-overhead when
+Five orthogonal facilities, all designed to be **zero-overhead when
 disabled** (every instrumentation site is a single guarded attribute
 check) and **non-perturbing when enabled** (they only read simulator
 state — no RNG draws, no scheduling changes — so a traced run produces
@@ -19,9 +19,17 @@ bit-identical results to an untraced one):
 * :class:`PhaseProfiler` / the global :data:`PROFILER` — per-phase
   wall-time attribution of the cycle loop (calendar, memory, network,
   cores), surfaced through ``repro profile``.
+* :class:`TimelineCollector` / the global :data:`TIMELINE` — windowed
+  time-series telemetry: per-window deltas of selected registry paths
+  in columnar numpy ring buffers, exported as JSONL, chrome://tracing
+  counter events and OpenMetrics text, rendered live by ``repro top``.
+* :mod:`repro.obs.health` — invariant/anomaly watchdogs over the
+  timeline and live system (starvation, backoff storms, counter
+  leaks, message conservation) raising structured
+  :class:`HealthEvent` records; ``--strict-health`` fails a run on any.
 
-See ``docs/observability.md`` for the trace format, registry schema
-and profiling workflow.
+See ``docs/observability.md`` for the trace format, registry schema,
+timeline/health schemas and the profiling workflow.
 """
 
 from repro.obs.registry import MetricsRegistry
@@ -34,16 +42,44 @@ from repro.obs.trace import (
     validate_trace_file,
 )
 from repro.obs.profile import PROFILER, PhaseProfiler, profiling
+from repro.obs.timeline import (
+    DEFAULT_TIMELINE_PATHS,
+    TIMELINE,
+    TimelineCollector,
+    load_timeline_jsonl,
+    timelining,
+    validate_openmetrics,
+    window_deltas,
+)
+from repro.obs.health import (
+    HealthConfig,
+    HealthError,
+    HealthEvent,
+    check_health,
+    render_health,
+)
 
 __all__ = [
+    "DEFAULT_TIMELINE_PATHS",
+    "HealthConfig",
+    "HealthError",
+    "HealthEvent",
     "MetricsRegistry",
     "PROFILER",
     "PhaseProfiler",
+    "TIMELINE",
     "TRACE",
+    "TimelineCollector",
     "TraceEvent",
     "Tracer",
+    "check_health",
+    "load_timeline_jsonl",
     "profiling",
+    "render_health",
+    "timelining",
     "tracing",
     "validate_event",
+    "validate_openmetrics",
     "validate_trace_file",
+    "window_deltas",
 ]

@@ -1,0 +1,488 @@
+"""Invariant and anomaly watchdogs over the timeline and live system.
+
+Simulation bugs and injected faults share a failure vocabulary:
+progress stops, retries spin without deliveries, counters leak, or the
+message ledger stops balancing.  The detectors here turn those shapes
+into structured :class:`HealthEvent` records:
+
+* **starvation** — zero instruction retirements across ``K``
+  consecutive windows (livelock, a dead lane starving the cores, a
+  scheduling bug).
+* **backoff_storm** — either the measured per-node-slot collision rate
+  rises above the Fig-3 closed-form band
+  (:func:`repro.core.analytical.collision_probability`, with a margin
+  and a minimum-event floor so single-collision noise in quiet windows
+  never alarms), or packets sit outstanding across ``K`` consecutive
+  zero-delivery windows — retransmission/backoff spinning without
+  progress.
+* **counter_leak** — the FSOI O(1) in-flight lane counters disagree
+  with a recount of the lane queues and retransmission lists, or any
+  stat counter has gone negative.
+* **conservation** — per-lane transmission fates stop balancing
+  (``transmissions >= delivered + collided + corrupted (+ fault
+  fates)``, with equality once the network drains), or deliveries
+  exceed sends — the end-to-end no-silent-loss law from
+  ``tests/core/test_metric_conservation.py`` as a runtime check.
+
+The watchdogs are pure readers: they never mutate simulator state, so
+checking health cannot perturb a run.  ``repro run --health`` prints
+the report, ``--strict-health`` fails the run (:class:`HealthError`),
+and the fault-injection suite cross-checks both directions — injected
+faults must trip detectors, clean runs must not
+(``tests/obs/test_health.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence
+
+import numpy as np
+
+__all__ = [
+    "HealthConfig",
+    "HealthError",
+    "HealthEvent",
+    "check_health",
+    "detect_backoff_storm",
+    "detect_conservation",
+    "detect_counter_leak",
+    "detect_starvation",
+    "render_health",
+]
+
+
+@dataclass(frozen=True)
+class HealthEvent:
+    """One watchdog finding.
+
+    ``detector`` names the watchdog, ``severity`` is ``"warning"`` or
+    ``"critical"``, ``cycle`` anchors the finding in simulated time
+    (the end of the offending window, or the run end for end-state
+    invariants), and ``data`` carries the detector-specific evidence.
+    """
+
+    detector: str
+    severity: str
+    cycle: int
+    message: str
+    data: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "detector": self.detector,
+            "severity": self.severity,
+            "cycle": self.cycle,
+            "message": self.message,
+            "data": dict(self.data),
+        }
+
+
+@dataclass(frozen=True)
+class HealthConfig:
+    """Detector thresholds (defaults tuned on the seeded 16-node apps)."""
+
+    #: Consecutive zero-retirement windows before starvation fires.
+    starvation_windows: int = 3
+    #: Consecutive zero-delivery windows with a positive outstanding
+    #: backlog before the backoff-storm (retry-stall) facet fires.
+    storm_windows: int = 3
+    #: Measured collision rate must exceed the closed form by this
+    #: factor before the band facet fires.
+    collision_margin: float = 3.0
+    #: ... and the window must hold at least this many collision
+    #: events (quiet windows produce 1-3 event noise spikes).
+    min_collision_events: int = 10
+    #: Leading windows exempt from the band facet: the cold-start
+    #: burst (every node injecting its first requests on the same
+    #: cycle) is *correlated* traffic, legitimately above the
+    #: independent-Bernoulli closed form.
+    warmup_windows: int = 1
+
+
+class HealthError(RuntimeError):
+    """Raised under ``--strict-health`` when any detector fired."""
+
+    def __init__(self, events: Sequence[HealthEvent]):
+        self.events = list(events)
+        super().__init__(
+            f"{len(self.events)} health event(s): "
+            + "; ".join(e.message for e in self.events[:3])
+            + ("; ..." if len(self.events) > 3 else "")
+        )
+
+
+# -- timeline access -------------------------------------------------------
+
+
+def _series(timeline: Any, path: str) -> Optional[np.ndarray]:
+    """Per-window deltas for ``path``; None when it was not sampled.
+
+    Accepts a live :class:`~repro.obs.timeline.TimelineCollector` or
+    the dict form :func:`~repro.obs.timeline.load_timeline_jsonl`
+    returns, so archived timelines get the same watchdogs.
+    """
+    if isinstance(timeline, dict):
+        paths = timeline["meta"]["paths"]
+        if path not in paths:
+            return None
+        column = paths.index(path)
+        rows = np.asarray(timeline["deltas"], dtype=np.float64)
+        if rows.size == 0:
+            return np.zeros(0)
+        return rows[:, column]
+    try:
+        return timeline.series(path)
+    except KeyError:
+        return None
+
+
+def _cycles(timeline: Any) -> np.ndarray:
+    if isinstance(timeline, dict):
+        return np.asarray(timeline["cycles"], dtype=np.int64)
+    return timeline.cycles()
+
+
+def _runs_of(mask: np.ndarray, min_len: int) -> list[tuple[int, int]]:
+    """Maximal ``[start, end)`` index runs of True at least min_len long."""
+    runs: list[tuple[int, int]] = []
+    start: Optional[int] = None
+    for index, flag in enumerate(mask):
+        if flag and start is None:
+            start = index
+        elif not flag and start is not None:
+            if index - start >= min_len:
+                runs.append((start, index))
+            start = None
+    if start is not None and len(mask) - start >= min_len:
+        runs.append((start, len(mask)))
+    return runs
+
+
+# -- windowed detectors ----------------------------------------------------
+
+
+def detect_starvation(
+    timeline: Any, config: HealthConfig = HealthConfig()
+) -> list[HealthEvent]:
+    """Livelock/starvation: K consecutive windows of zero progress.
+
+    A starved window retires no instructions *and* delivers no packets.
+    Both conditions matter: a straggler core blocked on a long memory
+    miss chain parks every other core at a barrier for hundreds of
+    cycles — zero retirements — but its miss traffic keeps deliveries
+    non-zero, so legitimate sync phases never alarm (measured across
+    every app x network x seed in the clean-run suite).  One event per
+    maximal starved stretch, anchored at the cycle where it ended.
+    """
+    instructions = _series(timeline, "run.instructions")
+    if instructions is None or len(instructions) == 0:
+        return []
+    starved = instructions == 0
+    delivered = _series(timeline, "network.packets_delivered")
+    if delivered is not None:
+        starved &= delivered == 0
+    cycles = _cycles(timeline)
+    events = []
+    for start, end in _runs_of(starved, config.starvation_windows):
+        first = int(cycles[start - 1]) if start else None
+        events.append(
+            HealthEvent(
+                detector="starvation",
+                severity="critical",
+                cycle=int(cycles[end - 1]),
+                message=(
+                    f"no retirements and no deliveries across {end - start} "
+                    f"consecutive windows (cycles "
+                    f"{first if first is not None else 'start'}"
+                    f"..{int(cycles[end - 1])})"
+                ),
+                data={"windows": int(end - start), "from_cycle": first},
+            )
+        )
+    return events
+
+
+def detect_backoff_storm(
+    timeline: Any,
+    config: HealthConfig = HealthConfig(),
+    *,
+    num_nodes: Optional[int] = None,
+    receivers: Any = 2,
+) -> list[HealthEvent]:
+    """Collision/retry storms, two facets.
+
+    **Band**: a window's measured collisions per node-slot exceed the
+    Fig-3 closed form for its measured transmission probability by
+    ``collision_margin``x (with at least ``min_collision_events``
+    events, so quiet-window shot noise never alarms).  Correlated
+    retries are exactly what pushes a slotted channel above the
+    independent-Bernoulli band.
+
+    **Retry stall**: the packet ledger shows an outstanding backlog
+    (``sent > delivered + gave_up``) across ``storm_windows``
+    consecutive windows with zero deliveries — packets stuck in
+    backoff/retransmission making no progress (a dark lane, a runaway
+    backoff window).
+    """
+    events: list[HealthEvent] = []
+    cycles = _cycles(timeline)
+    if num_nodes is None:
+        meta = timeline["meta"] if isinstance(timeline, dict) else timeline.meta
+        num_nodes = int(meta.get("num_nodes", 0)) or None
+
+    # Facet 1: collision rate above the closed-form band (per lane).
+    if num_nodes:
+        from repro.core.analytical import collision_probability
+
+        for lane in ("meta", "data"):
+            lane_receivers = (
+                receivers.get(lane, 2)
+                if isinstance(receivers, dict)
+                else receivers
+            )
+            tx = _series(timeline, f"network.{lane}.transmissions")
+            coll = _series(timeline, f"network.{lane}.collision_events")
+            slots = _series(timeline, f"network.{lane}.slots_elapsed")
+            if tx is None or coll is None or slots is None:
+                continue
+            for index in range(config.warmup_windows, len(cycles)):
+                node_slots = slots[index] * num_nodes
+                if (
+                    node_slots <= 0
+                    or coll[index] < config.min_collision_events
+                ):
+                    continue
+                p = tx[index] / node_slots
+                expected = collision_probability(
+                    p, num_nodes=num_nodes, receivers=lane_receivers
+                )
+                measured = coll[index] / node_slots
+                if measured > config.collision_margin * max(expected, 1e-12):
+                    events.append(
+                        HealthEvent(
+                            detector="backoff_storm",
+                            severity="warning",
+                            cycle=int(cycles[index]),
+                            message=(
+                                f"{lane} collision rate "
+                                f"{measured:.3g}/node-slot exceeds "
+                                f"{config.collision_margin:g}x the Fig-3 "
+                                f"band ({expected:.3g} at p={p:.3g})"
+                            ),
+                            data={
+                                "lane": lane,
+                                "measured": float(measured),
+                                "expected": float(expected),
+                                "tx_probability": float(p),
+                                "collision_events": int(coll[index]),
+                            },
+                        )
+                    )
+
+    # Facet 2: outstanding packets starved of delivery.
+    sent = _series(timeline, "network.packets_sent")
+    delivered = _series(timeline, "network.packets_delivered")
+    if sent is not None and delivered is not None and len(sent):
+        gave_up = _series(timeline, "network.fault.gave_up_lost")
+        lost = np.cumsum(gave_up) if gave_up is not None else 0.0
+        backlog = np.cumsum(sent) - np.cumsum(delivered) - lost
+        stalled = (delivered == 0) & (backlog > 0)
+        for start, end in _runs_of(stalled, config.storm_windows):
+            events.append(
+                HealthEvent(
+                    detector="backoff_storm",
+                    severity="critical",
+                    cycle=int(cycles[end - 1]),
+                    message=(
+                        f"{int(backlog[end - 1])} packet(s) outstanding "
+                        f"with zero deliveries across {end - start} "
+                        f"consecutive windows"
+                    ),
+                    data={
+                        "windows": int(end - start),
+                        "backlog": int(backlog[end - 1]),
+                    },
+                )
+            )
+    return events
+
+
+# -- end-state invariants --------------------------------------------------
+
+
+def _lane_counter_dicts(network: Any) -> dict[str, dict[str, int]]:
+    """Per-lane counter values of an FSOI network, plus fault fates."""
+    out: dict[str, dict[str, int]] = {}
+    for lane, counters in network._lane_stats.items():
+        values = {key: int(c) for key, c in counters.items()}
+        if network._injector is not None:
+            values.update(
+                (key, int(c))
+                for key, c in network._fault_lane_stats[lane].items()
+            )
+        out[lane.value] = values
+    return out
+
+
+def detect_counter_leak(system: Any) -> list[HealthEvent]:
+    """O(1) counter vs structure cross-checks (lane-counter leaks).
+
+    FSOI mirrors each lane's queued + backed-off packet count in
+    ``_lane_pending`` so ``quiescent()`` and the fast-forward horizon
+    are O(1); the mirror must always equal the recounted queue and
+    retransmission-list sizes.  Any negative stat counter anywhere in
+    the metrics tree is likewise a leak (a decrement without its
+    increment).
+    """
+    events: list[HealthEvent] = []
+    cycle = int(system.cycle)
+    network = system.network
+    pending = getattr(network, "_lane_pending", None)
+    if pending is not None:
+        for lane, count in pending.items():
+            actual = sum(
+                len(state.queue) + len(state.retx)
+                for state in network._state[lane]
+            )
+            if count != actual:
+                events.append(
+                    HealthEvent(
+                        detector="counter_leak",
+                        severity="critical",
+                        cycle=cycle,
+                        message=(
+                            f"{lane.value} in-flight counter holds {count} "
+                            f"but the lane structures hold {actual}"
+                        ),
+                        data={
+                            "lane": lane.value,
+                            "counter": int(count),
+                            "recounted": int(actual),
+                        },
+                    )
+                )
+    flat = system.metrics_registry().flatten()
+    for path, value in flat.items():
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            if value < 0:
+                events.append(
+                    HealthEvent(
+                        detector="counter_leak",
+                        severity="critical",
+                        cycle=cycle,
+                        message=f"negative counter {path} = {value}",
+                        data={"path": path, "value": value},
+                    )
+                )
+    return events
+
+
+def detect_conservation(system: Any) -> list[HealthEvent]:
+    """End-to-end message conservation.
+
+    Every network: deliveries never exceed sends, and a drained
+    network must have delivered (or provably given up on) everything.
+    FSOI additionally balances per-lane transmission fates —
+    delivered + collided + corrupted (+ fault losses) never exceed
+    transmissions, with equality once the lane drains.
+    """
+    events: list[HealthEvent] = []
+    cycle = int(system.cycle)
+    network = system.network
+    stats = network.stats
+    sent, delivered = int(stats.sent), int(stats.delivered)
+    if delivered > sent:
+        events.append(
+            HealthEvent(
+                detector="conservation",
+                severity="critical",
+                cycle=cycle,
+                message=f"delivered {delivered} packets but only {sent} sent",
+                data={"sent": sent, "delivered": delivered},
+            )
+        )
+    if hasattr(network, "_lane_stats"):
+        quiescent = network.quiescent()
+        for lane, values in _lane_counter_dicts(network).items():
+            tx = values["tx"]
+            explained = (
+                values["delivered"]
+                + values["collided_tx"]
+                + values["error_tx"]
+                + values.get("fault_lost", 0)
+                + values.get("injected_corrupt", 0)
+                + values.get("duplicate_rx", 0)
+            )
+            broken = explained > tx or (quiescent and explained != tx)
+            if broken:
+                events.append(
+                    HealthEvent(
+                        detector="conservation",
+                        severity="critical",
+                        cycle=cycle,
+                        message=(
+                            f"{lane} transmission ledger broken: "
+                            f"{tx} transmissions vs {explained} explained"
+                            f"{' (drained)' if quiescent else ''}"
+                        ),
+                        data={
+                            "lane": lane,
+                            "transmissions": tx,
+                            "explained": explained,
+                            "quiescent": quiescent,
+                        },
+                    )
+                )
+    return events
+
+
+# -- the monitor entry point ----------------------------------------------
+
+
+def check_health(
+    system: Any = None,
+    timeline: Any = None,
+    config: HealthConfig = HealthConfig(),
+) -> list[HealthEvent]:
+    """Run every applicable detector; events sorted by (cycle, detector).
+
+    ``system`` enables the end-state invariants, ``timeline`` (a live
+    collector or a loaded JSONL dict) the windowed detectors; either
+    may be omitted.
+    """
+    events: list[HealthEvent] = []
+    if timeline is not None:
+        num_nodes = None
+        receivers: Any = 2
+        if system is not None:
+            num_nodes = system.config.num_nodes
+            lanes = getattr(getattr(system.network, "config", None), "lanes", None)
+            if lanes is not None:
+                receivers = {
+                    "meta": lanes.meta_receivers,
+                    "data": lanes.data_receivers,
+                }
+        events.extend(detect_starvation(timeline, config))
+        events.extend(
+            detect_backoff_storm(
+                timeline, config, num_nodes=num_nodes, receivers=receivers
+            )
+        )
+    if system is not None:
+        events.extend(detect_counter_leak(system))
+        events.extend(detect_conservation(system))
+    return sorted(events, key=lambda e: (e.cycle, e.detector, e.message))
+
+
+def render_health(events: Sequence[HealthEvent]) -> str:
+    """Human-readable report (``repro run --health`` / ``repro top``)."""
+    if not events:
+        return "health: OK (no events)\n"
+    lines = [f"health: {len(events)} event(s)"]
+    for event in events:
+        lines.append(
+            f"  [{event.severity:8s}] cycle {event.cycle:>8d} "
+            f"{event.detector}: {event.message}"
+        )
+    return "\n".join(lines) + "\n"

@@ -47,8 +47,10 @@ __all__ = [
 #: inhibited, so traced runs remain cycle-identical to untraced ones.
 REQUIRED_KEYS = ("name", "cat", "ph", "ts", "pid", "tid")
 
-#: Phases the exporter produces: instant events and complete spans.
-VALID_PHASES = ("i", "X")
+#: Phases the exporters produce: instant events, complete spans, and
+#: counter tracks ("C" — per-window timeline deltas merged in by
+#: ``repro trace --timeline``; see repro.obs.timeline.counter_events).
+VALID_PHASES = ("i", "X", "C")
 
 
 @dataclass(frozen=True)
@@ -204,12 +206,17 @@ class Tracer:
 
     # -- export --------------------------------------------------------
 
-    def write_jsonl(self, path, **filters: Any) -> int:
+    def write_jsonl(
+        self, path, *, extra: Optional[Iterable[dict]] = None, **filters: Any
+    ) -> int:
         """Write matching events as trace-event JSONL; returns the count.
 
         One JSON object per line, each a complete, schema-valid
         trace event — the stream format ``repro trace`` emits and
-        :func:`validate_trace_file` checks.
+        :func:`validate_trace_file` checks.  ``extra`` appends
+        ready-made trace-event dicts (e.g. the timeline's counter
+        events) after the ring's events, merging both streams into one
+        file chrome://tracing loads directly.
         """
         count = 0
         with open(path, "w") as handle:
@@ -217,16 +224,24 @@ class Tracer:
                 handle.write(json.dumps(event.to_chrome(), sort_keys=True))
                 handle.write("\n")
                 count += 1
+            for event in extra or ():
+                handle.write(json.dumps(event, sort_keys=True))
+                handle.write("\n")
+                count += 1
         return count
 
-    def write_chrome_json(self, path, **filters: Any) -> int:
+    def write_chrome_json(
+        self, path, *, extra: Optional[Iterable[dict]] = None, **filters: Any
+    ) -> int:
         """Write a ``{"traceEvents": [...]}`` object (chrome://tracing).
 
         The JSONL form round-trips into this shape via
         ``{"traceEvents": [json.loads(l) for l in open(p)]}``; this
-        helper just saves the step for direct loading.
+        helper just saves the step for direct loading.  ``extra``
+        merges ready-made trace-event dicts as in :meth:`write_jsonl`.
         """
         events = [event.to_chrome() for event in self.events(**filters)]
+        events.extend(extra or ())
         with open(path, "w") as handle:
             json.dump({"traceEvents": events}, handle, sort_keys=True)
             handle.write("\n")
@@ -296,6 +311,15 @@ def validate_event(event: dict) -> None:
             raise ValueError(f"span event needs a numeric dur: {event!r}")
     if "args" in event and not isinstance(event["args"], dict):
         raise ValueError(f"trace event args must be an object: {event!r}")
+    if event["ph"] == "C":
+        args = event.get("args")
+        if not args:
+            raise ValueError(f"counter event needs non-empty args: {event!r}")
+        for key, value in args.items():
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise ValueError(
+                    f"counter series {key!r} must be numeric: {event!r}"
+                )
 
 
 def validate_trace_file(path) -> int:

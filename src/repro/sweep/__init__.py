@@ -34,6 +34,7 @@ from repro.sweep.runner import (
     load_jsonl,
     metrics_filename,
     run_sweep,
+    timeline_filename,
 )
 from repro.sweep.spec import (
     SweepPoint,
@@ -60,4 +61,5 @@ __all__ = [
     "metrics_filename",
     "point_key",
     "run_sweep",
+    "timeline_filename",
 ]

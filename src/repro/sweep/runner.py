@@ -50,6 +50,7 @@ __all__ = [
     "load_jsonl",
     "metrics_filename",
     "run_sweep",
+    "timeline_filename",
 ]
 
 
@@ -57,20 +58,40 @@ class PointTimeout(Exception):
     """A point exceeded the per-point timeout."""
 
 
-def execute_point(point_dict: dict, metrics_dir: Optional[str] = None) -> dict:
+def execute_point(
+    point_dict: dict,
+    metrics_dir: Optional[str] = None,
+    timeline_dir: Optional[str] = None,
+    timeline_window: int = 100,
+) -> dict:
     """Run one experiment; the default worker payload.
 
     Takes and returns plain dicts so the call crosses process
     boundaries with no custom pickling.  With ``metrics_dir`` set, the
     run's full metrics-registry snapshot (see
     :meth:`repro.cmp.CmpSystem.metrics_registry`) is archived there as
-    ``<label>_<hash>.json`` before the result is returned.
+    ``<label>_<hash>.json`` before the result is returned.  With
+    ``timeline_dir`` set, the run executes under the windowed timeline
+    collector (:func:`repro.obs.timeline.timelining`, sampling every
+    ``timeline_window`` cycles) and the per-window delta archive lands
+    there as ``<label>_<hash>.timeline.jsonl``.  Timeline collection is
+    non-perturbing — the result is bit-identical to an untimelined run
+    apart from the ``loop`` executed/skipped bookkeeping split.
     """
     from repro.cmp.system import CmpSystem
 
     point = SweepPoint.from_dict(point_dict)
     system = CmpSystem(point.to_config())
-    result = system.run(point.cycles).to_dict()
+    if timeline_dir is not None:
+        from repro.obs.timeline import timelining
+
+        with timelining(window=timeline_window) as timeline:
+            result = system.run(point.cycles).to_dict()
+        directory = Path(timeline_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        timeline.write_jsonl(directory / timeline_filename(point))
+    else:
+        result = system.run(point.cycles).to_dict()
     if metrics_dir is not None:
         directory = Path(metrics_dir)
         directory.mkdir(parents=True, exist_ok=True)
@@ -91,6 +112,15 @@ def metrics_filename(point: SweepPoint) -> str:
         canonical_json(point.to_dict()).encode()
     ).hexdigest()[:10]
     return f"{point.label().replace('/', '_')}_{digest}.json"
+
+
+def timeline_filename(point: SweepPoint) -> str:
+    """Deterministic per-point timeline archive filename.
+
+    Same stem as :func:`metrics_filename` (label + content hash) so a
+    point's metrics snapshot and timeline archive sit side by side.
+    """
+    return metrics_filename(point)[: -len(".json")] + ".timeline.jsonl"
 
 
 def _worker(
@@ -135,6 +165,13 @@ class SweepHeartbeat:
     in index order, so the lowest-index unfinished points are the ones
     on CPUs (an approximation — the pool does not expose true
     per-worker assignment).
+
+    ``latest_window`` carries the most recent timeline window
+    (``{"cycle", "deltas": {path: value}}``) when the sweep collects
+    timelines and runs points inline — the payload ``repro top``
+    renders as live sparklines.  ``None`` otherwise: pool workers hold
+    their own process-local collectors, so the parent has no live
+    window to forward.
     """
 
     elapsed: float
@@ -142,6 +179,7 @@ class SweepHeartbeat:
     total: int
     in_flight: tuple[str, ...]
     workers: int
+    latest_window: Optional[dict] = None
 
 
 @dataclass
@@ -362,6 +400,8 @@ def run_sweep(
     timeout: Optional[float] = None,
     jsonl_path=None,
     metrics_path=None,
+    timeline_path=None,
+    timeline_window: int = 100,
     code_version: Optional[str] = None,
     execute: Callable[[dict], dict] = execute_point,
     progress: Optional[Callable[[int, int, PointOutcome], None]] = None,
@@ -391,6 +431,14 @@ def run_sweep(
         therefore do not write snapshots — archive metrics with the
         cache off, or on the cold pass.  A custom ``execute`` callable
         must accept a ``metrics_dir`` keyword to use this.
+    timeline_path:
+        Directory in which every *executed* point archives its windowed
+        timeline (one JSONL file per point, named by
+        :func:`timeline_filename`, sampled every ``timeline_window``
+        cycles).  Same cache caveat as ``metrics_path``; a custom
+        ``execute`` callable must accept ``timeline_dir`` and
+        ``timeline_window`` keywords to use this.  Heartbeats gain a
+        ``latest_window`` payload on the inline path.
     code_version:
         Override the cache's code-version tag (testing/pinning).
     execute:
@@ -416,6 +464,12 @@ def run_sweep(
         # functools.partial of a module-level callable stays picklable
         # for the process-pool path.
         execute = functools.partial(execute, metrics_dir=str(metrics_path))
+    if timeline_path is not None:
+        execute = functools.partial(
+            execute,
+            timeline_dir=str(timeline_path),
+            timeline_window=timeline_window,
+        )
     started = time.perf_counter()
     writer = _OrderedJsonlWriter(jsonl_path)
     outcomes: list[Optional[PointOutcome]] = [None] * len(points)
@@ -431,12 +485,22 @@ def run_sweep(
 
     def beat(in_flight: Sequence[str]) -> None:
         if heartbeat is not None:
+            latest = None
+            if timeline_path is not None and workers <= 1:
+                # Inline points run against the process-global
+                # collector, so its freshest window is ours to forward
+                # (pool workers keep theirs process-local).
+                from repro.obs.timeline import TIMELINE
+
+                if len(TIMELINE):
+                    latest = TIMELINE.latest_window()
             heartbeat(SweepHeartbeat(
                 elapsed=time.perf_counter() - started,
                 done=done_count,
                 total=len(points),
                 in_flight=tuple(in_flight),
                 workers=max(1, workers),
+                latest_window=latest,
             ))
 
     try:

@@ -10,10 +10,11 @@ from __future__ import annotations
 
 from typing import Mapping, Sequence
 
-__all__ = ["bar_chart", "grouped_bars", "series", "heatmap"]
+__all__ = ["bar_chart", "grouped_bars", "series", "sparkline", "heatmap"]
 
 _BLOCKS = " ▏▎▍▌▋▊▉█"
 _SHADES = " ░▒▓█"
+_SPARKS = " ▁▂▃▄▅▆▇█"
 
 
 def _bar(value: float, maximum: float, width: int) -> str:
@@ -120,6 +121,43 @@ def series(
     )
     lines.append(" " * 10 + legend)
     return "\n".join(lines)
+
+
+def sparkline(
+    values: Sequence[float],
+    width: int = 40,
+    maximum: float | None = None,
+) -> str:
+    """A one-line vertical-block sparkline of a numeric series.
+
+    Longer series are bucketed down to ``width`` cells (bucket mean);
+    shorter ones render one cell per value.  Values scale against
+    ``maximum`` (default: the series max); negatives clamp to the
+    baseline block, which suits the timeline's per-window deltas
+    (counters never go down, gauges rarely dip below zero).
+
+    >>> sparkline([0, 1, 2, 3], width=4)
+    ' ▂▅█'
+    """
+    if not values:
+        raise ValueError("no data to chart")
+    if width < 1:
+        raise ValueError(f"sparkline width must be >= 1: {width}")
+    vals = [float(v) for v in values]
+    if len(vals) > width:
+        bucketed = []
+        for cell in range(width):
+            lo = cell * len(vals) // width
+            hi = max(lo + 1, (cell + 1) * len(vals) // width)
+            bucketed.append(sum(vals[lo:hi]) / (hi - lo))
+        vals = bucketed
+    top = max(vals) if maximum is None else float(maximum)
+    if top <= 0:
+        return _SPARKS[0] * len(vals)
+    steps = len(_SPARKS) - 1
+    return "".join(
+        _SPARKS[min(steps, int(max(0.0, v) / top * steps))] for v in vals
+    )
 
 
 def heatmap(matrix: Sequence[Sequence[float]], title: str = "") -> str:

@@ -1,0 +1,274 @@
+"""Health watchdogs: clean runs stay silent, injected faults alarm.
+
+The two-sided contract from the module docstring: every detector is
+cross-checked against the fault injector.  Clean seeded runs across
+apps and networks must produce *zero* events (no false alarms from
+barriers, cold-start collision bursts, or quiet windows), while a
+killed data lane must trip the starvation and backoff-storm watchdogs.
+Synthetic timelines and doctored systems then pin each detector's
+firing condition in isolation.
+"""
+
+import json
+
+import pytest
+
+from repro.cmp import CmpConfig, CmpSystem
+from repro.cmp.results import CmpResults
+from repro.faults import FaultPlan, LaneFault
+from repro.obs import (
+    HealthConfig,
+    HealthError,
+    HealthEvent,
+    check_health,
+    render_health,
+    timelining,
+)
+from repro.obs.health import (
+    detect_backoff_storm,
+    detect_conservation,
+    detect_counter_leak,
+    detect_starvation,
+)
+
+from tests.conftest import EQUIVALENCE_FAULT_PLAN
+
+
+def run_with_health(cycles=2000, window=100, config=HealthConfig(), **kwargs):
+    kwargs.setdefault("num_nodes", 16)
+    kwargs.setdefault("seed", 3)
+    system = CmpSystem(CmpConfig(**kwargs))
+    with timelining(window=window) as timeline:
+        system.run(cycles)
+        return check_health(system=system, timeline=timeline, config=config)
+
+
+def synthetic_timeline(paths, rows, window=100, num_nodes=16):
+    """The dict form ``load_timeline_jsonl`` produces, built inline."""
+    return {
+        "meta": {"paths": list(paths), "window": window,
+                 "num_nodes": num_nodes},
+        "cycles": [window * (i + 1) for i in range(len(rows))],
+        "deltas": [list(row) for row in rows],
+    }
+
+
+class TestCleanRunsAreSilent:
+    """No false alarms on healthy seeded runs."""
+
+    @pytest.mark.parametrize("app", ["fft", "ba", "lu"])
+    def test_fsoi_apps_produce_zero_events(self, app):
+        events = run_with_health(app=app, network="fsoi")
+        assert events == [], render_health(events)
+
+    @pytest.mark.parametrize("network", ["mesh", "l0"])
+    def test_other_networks_produce_zero_events(self, network):
+        events = run_with_health(app="fft", network=network)
+        assert events == [], render_health(events)
+
+    def test_injector_aware_ledger_stays_balanced(self):
+        """The equivalence fault plan loses packets by design; the
+        conservation and counter-leak ledgers must account for every
+        injected fate rather than alarming on the losses."""
+        events = run_with_health(
+            app="fft", network="fsoi", faults=EQUIVALENCE_FAULT_PLAN
+        )
+        detectors = {event.detector for event in events}
+        assert "conservation" not in detectors
+        assert "counter_leak" not in detectors
+
+
+class TestLaneKillTripsWatchdogs:
+    """A permanently dead data lane must starve the system: packets
+    pile up in retransmission (backoff storm) and progress stops
+    (starvation)."""
+
+    @pytest.fixture(scope="class")
+    def lane_kill_events(self):
+        plan = FaultPlan(
+            label="lane-kill",
+            lane_faults=(LaneFault(3, "data", start=500),),
+            seed=7,
+        )
+        return run_with_health(
+            cycles=6000, app="ba", network="fsoi", faults=plan
+        )
+
+    def test_detectors_fire(self, lane_kill_events):
+        detectors = {event.detector for event in lane_kill_events}
+        assert detectors == {"backoff_storm", "starvation"}
+
+    def test_events_are_critical_and_after_the_kill(self, lane_kill_events):
+        assert lane_kill_events
+        for event in lane_kill_events:
+            assert event.severity == "critical"
+            assert event.cycle > 500
+
+
+class TestDetectStarvation:
+    PATHS = ("run.instructions", "network.packets_delivered")
+
+    def test_fires_after_k_zero_windows(self):
+        rows = [(50, 5), (0, 0), (0, 0), (0, 0), (40, 4)]
+        events = detect_starvation(synthetic_timeline(self.PATHS, rows))
+        assert len(events) == 1
+        assert events[0].detector == "starvation"
+        assert events[0].cycle == 400  # end of the starved stretch
+        assert events[0].data["windows"] == 3
+
+    def test_short_stalls_do_not_fire(self):
+        rows = [(50, 5), (0, 0), (0, 0), (40, 4)]
+        assert detect_starvation(synthetic_timeline(self.PATHS, rows)) == []
+
+    def test_deliveries_excuse_zero_retirements(self):
+        """Barrier phases retire nothing but keep traffic flowing."""
+        rows = [(0, 3), (0, 2), (0, 1), (0, 4)]
+        assert detect_starvation(synthetic_timeline(self.PATHS, rows)) == []
+
+    def test_threshold_is_configurable(self):
+        rows = [(0, 0), (0, 0)]
+        timeline = synthetic_timeline(self.PATHS, rows)
+        assert detect_starvation(timeline) == []
+        config = HealthConfig(starvation_windows=2)
+        assert len(detect_starvation(timeline, config)) == 1
+
+
+class TestDetectBackoffStorm:
+    BAND_PATHS = (
+        "network.data.transmissions",
+        "network.data.collision_events",
+        "network.data.slots_elapsed",
+    )
+
+    def band_timeline(self, collisions, tx=32, slots=10):
+        rows = [(tx, c, slots) for c in collisions]
+        return synthetic_timeline(self.BAND_PATHS, rows)
+
+    def test_band_facet_fires_above_closed_form(self):
+        # p = 32/160 per node-slot; the Fig-3 closed form puts the
+        # collision rate well under 0.5/node-slot, so 140 events in
+        # 160 node-slots is far outside 3x the band.
+        events = detect_backoff_storm(self.band_timeline([5, 140]))
+        assert len(events) == 1
+        assert events[0].severity == "warning"
+        assert events[0].data["lane"] == "data"
+        assert events[0].data["measured"] > events[0].data["expected"]
+
+    def test_band_facet_skips_warmup_window(self):
+        events = detect_backoff_storm(self.band_timeline([140, 5]))
+        assert events == []
+
+    def test_min_event_floor_suppresses_noise(self):
+        events = detect_backoff_storm(self.band_timeline([0, 9]))
+        assert events == []
+
+    STALL_PATHS = ("network.packets_sent", "network.packets_delivered")
+
+    def test_retry_stall_fires_on_outstanding_backlog(self):
+        rows = [(10, 8), (0, 0), (0, 0), (0, 0)]
+        events = detect_backoff_storm(
+            synthetic_timeline(self.STALL_PATHS, rows)
+        )
+        assert len(events) == 1
+        assert events[0].severity == "critical"
+        assert events[0].data["backlog"] == 2
+
+    def test_drained_network_never_stalls(self):
+        rows = [(10, 10), (0, 0), (0, 0), (0, 0)]
+        assert detect_backoff_storm(
+            synthetic_timeline(self.STALL_PATHS, rows)
+        ) == []
+
+    def test_gave_up_packets_reduce_the_backlog(self):
+        paths = self.STALL_PATHS + ("network.fault.gave_up_lost",)
+        rows = [(10, 8, 2), (0, 0, 0), (0, 0, 0), (0, 0, 0)]
+        assert detect_backoff_storm(synthetic_timeline(paths, rows)) == []
+
+
+class TestEndStateInvariants:
+    @pytest.fixture()
+    def finished_system(self):
+        system = CmpSystem(
+            CmpConfig(app="fft", network="fsoi", num_nodes=16, seed=3)
+        )
+        system.run(1500)
+        return system
+
+    def test_clean_system_passes(self, finished_system):
+        assert detect_counter_leak(finished_system) == []
+        assert detect_conservation(finished_system) == []
+
+    def test_counter_leak_catches_a_doctored_mirror(self, finished_system):
+        network = finished_system.network
+        lane = next(iter(network._lane_pending))
+        network._lane_pending[lane] += 7
+        events = detect_counter_leak(finished_system)
+        assert any(
+            e.detector == "counter_leak" and e.data["lane"] == lane.value
+            for e in events
+        )
+
+    def test_counter_leak_catches_negative_counters(self, finished_system):
+        finished_system.network.stats.refused.value = -1
+        events = detect_counter_leak(finished_system)
+        assert any("negative counter" in e.message for e in events)
+
+    def test_conservation_catches_phantom_deliveries(self, finished_system):
+        stats = finished_system.network.stats
+        stats.delivered.value = int(stats.sent) + 5
+        events = detect_conservation(finished_system)
+        assert any(
+            "delivered" in e.message and e.severity == "critical"
+            for e in events
+        )
+
+
+class TestReporting:
+    EVENT = HealthEvent(
+        detector="starvation", severity="critical", cycle=1200,
+        message="no progress", data={"windows": 4},
+    )
+
+    def test_render_ok_and_events(self):
+        assert render_health([]) == "health: OK (no events)\n"
+        report = render_health([self.EVENT])
+        assert "1 event(s)" in report
+        assert "starvation: no progress" in report
+
+    def test_health_error_summarizes(self):
+        error = HealthError([self.EVENT] * 5)
+        assert "5 health event(s)" in str(error)
+        assert str(error).endswith("; ...")
+        assert error.events == [self.EVENT] * 5
+
+    @pytest.fixture(scope="class")
+    def small_result(self):
+        system = CmpSystem(
+            CmpConfig(app="fft", network="l0", num_nodes=16, seed=3)
+        )
+        return system.run(300)
+
+    def test_event_round_trips_through_results(self, small_result):
+        small_result.health = [self.EVENT.to_dict()]
+        data = json.loads(json.dumps(small_result.to_dict()))
+        assert data["health"] == [self.EVENT.to_dict()]
+        assert CmpResults.from_dict(data).health == [self.EVENT.to_dict()]
+        small_result.health = []
+
+    def test_health_key_absent_when_clean(self, small_result):
+        assert "health" not in small_result.to_dict()
+
+    def test_events_sorted_by_cycle(self):
+        later = HealthEvent(
+            detector="backoff_storm", severity="warning", cycle=300,
+            message="z",
+        )
+        earlier = HealthEvent(
+            detector="conservation", severity="critical", cycle=100,
+            message="a",
+        )
+        # check_health sorts; feed through a no-op call with events
+        # built by the detectors themselves instead of resorting here.
+        assert sorted(
+            [later, earlier], key=lambda e: (e.cycle, e.detector, e.message)
+        ) == [earlier, later]
