@@ -58,6 +58,13 @@ MICRO_APP = "oc"
 MICRO_NODES = 16
 MICRO_CYCLES = 2_000
 
+#: Networks the micro profiles cover.  ``l0`` (the ideal single-cycle
+#: network) is the coherence-dominated point: with transport reduced to
+#: a calendar hop, ``profile.l0.coherence.us_per_cycle`` isolates the
+#: protocol-dispatch cost the columnar coherence engine targets, free
+#: of slot/collision bookkeeping noise.
+MICRO_NETWORKS = ("fsoi", "mesh", "l0")
+
 #: Pinned macro sweep grid.
 MACRO_APPS = ("ba", "lu")
 MACRO_NETWORKS = ("fsoi", "mesh")
@@ -202,7 +209,7 @@ def run_bench(
     """Run the pinned micro+macro suite; returns the fresh snapshot."""
     metrics: dict[str, float] = {}
     begin = time.perf_counter()
-    for network in ("fsoi", "mesh"):
+    for network in MICRO_NETWORKS:
         _micro_profile(network, micro_cycles, metrics)
     _macro_sweep(macro_cycles, workers, metrics)
     metrics["suite.total_seconds"] = time.perf_counter() - begin

@@ -43,7 +43,7 @@ from repro.cmp.results import CmpResults
 from repro.faults.plan import FaultPlan
 from repro.mesh.ideal import IdealConfig, IdealNetwork
 from repro.mesh.network import MeshConfig, MeshNetwork
-from repro.net.packet import Packet
+from repro.net.packet import Packet, make_packet
 from repro.obs.profile import PROFILER
 from repro.obs.registry import MetricsRegistry
 from repro.obs.timeline import TIMELINE
@@ -68,6 +68,11 @@ _DIRECTORY_TYPES = frozenset(
     }
 )
 _MEMORY_TYPES = frozenset({MsgType.MEM_READ, MsgType.MEM_WRITE})
+
+#: §4.4 per-line ordering sentinel: a line with a message in flight but
+#: nothing queued behind it.  Shared so ``_send_from`` does not allocate
+#: a deque for the common line that never queues a second message.
+_LINE_IN_FLIGHT: tuple = ()
 
 
 @dataclass(frozen=True)
@@ -108,12 +113,14 @@ class CmpConfig:
     fast_forward: bool = True
     #: Columnar vectorized engines: the cores phase keeps per-node
     #: counters and deadlines in numpy arrays with replayed RNG draws,
-    #: and the network tick (mesh and FSOI) derives per-cycle worklists
+    #: the network tick (mesh and FSOI) derives per-cycle worklists
     #: and fast-forward horizons from write-through readiness columns,
-    #: so passive nodes/routers/lanes cost nothing per cycle
-    #: (docs/performance.md).  Results are bit-identical either way;
-    #: disable here (or via REPRO_NO_VECTOR=1) to run the
-    #: object-per-entity reference loops.
+    #: and coherence messages batch through a per-cycle mailbox into
+    #: fused per-type kernels (repro.coherence.vector), so passive
+    #: nodes/routers/lanes cost nothing per cycle and protocol dispatch
+    #: sheds its layers of indirection (docs/performance.md).  Results
+    #: are bit-identical either way; disable here (or via
+    #: REPRO_NO_VECTOR=1) to run the object-per-entity reference loops.
     vectorized: bool = True
     seed: int = 0
 
@@ -192,8 +199,9 @@ class CmpSystem:
         # identical runs.  Allocating from a per-instance counter keeps
         # seeded traces byte-reproducible across runs and engines.
         self._packet_uid = itertools.count()
-        # §4.4 per-line ordering: (node, line) -> queued (msg, delay).
-        self._line_pending: dict[tuple[int, int], deque] = {}
+        # §4.4 per-line ordering: (node, line) -> queued (msg, delay)
+        # deque, or the _LINE_IN_FLIGHT sentinel when nothing is queued.
+        self._line_pending: dict[tuple[int, int], "deque | tuple"] = {}
 
         # Memory controllers, evenly spread over the nodes.
         channels = config.memory_channels
@@ -278,12 +286,27 @@ class CmpSystem:
             self.sync.on_barrier_release = self._signal_barrier_release
             self.sync.on_lock_release = self._signal_lock_release
 
-        for node in range(n):
-            self.network.set_delivery_callback(node, self._on_packet)
-
         # Figure 5: read-miss request -> reply latency distribution.
         self._request_issue: dict[tuple[int, int], int] = {}
         self.reply_latency = Histogram("reply_latency", 0, 200, 20)
+
+        # Columnar coherence engine (repro.coherence.vector): deliveries
+        # collect into a per-cycle mailbox the network drains between
+        # its delivery and transmit phases, and hot stable-state
+        # transitions run as fused per-MsgType kernels.  Bit-exact with
+        # the inline reference dispatch kept below
+        # (tests/coherence/test_vector_equivalence.py).
+        if self._vector_on:
+            from repro.coherence.vector import CoherenceVectorEngine
+
+            self._coherence = CoherenceVectorEngine(self)
+            on_packet = self._coherence.on_packet
+            self.network.post_delivery = self._coherence.drain
+        else:
+            self._coherence = None
+            on_packet = self._on_packet
+        for node in range(n):
+            self.network.set_delivery_callback(node, on_packet)
 
         if config.warm_start:
             self._warm_start()
@@ -427,22 +450,47 @@ class CmpSystem:
             self._request_issue[(msg.requester, msg.line)] = self.cycle
         key = (node, msg.line)
         pending = self._line_pending.get(key)
-        if pending is not None:
-            pending.append((msg, delay))
+        if pending is None:
+            # Mark the line in flight with the shared sentinel; the real
+            # deque is only allocated if a second message actually queues
+            # behind this one (most lines never do).
+            self._line_pending[key] = _LINE_IN_FLIGHT
+            self._transmit(node, msg, delay)
             return
-        self._line_pending[key] = deque()
-        self._transmit(node, msg, delay)
+        if pending is _LINE_IN_FLIGHT:
+            pending = self._line_pending[key] = deque()
+        pending.append((msg, delay))
 
     def _transmit(self, node: int, msg: CoherenceMessage, delay: int) -> None:
+        # Inlines _at so the common immediate case (delay 0, remote)
+        # neither allocates the action closure nor pays the extra frame.
+        cycle = self.cycle
         if msg.dest == node:
-            self._at(
-                self.cycle + delay + self.config.local_latency,
-                lambda: self._complete_local(node, msg),
+            due = cycle + delay + self.config.local_latency
+            if due <= cycle:
+                self._complete_local(node, msg)
+                return
+            self._calendar.schedule(
+                due, lambda: self._complete_local(node, msg)
             )
             return
-        self._at(self.cycle + delay, lambda: self._inject(node, msg))
+        due = cycle + delay
+        if due <= cycle:
+            self._inject(node, msg)
+            return
+        self._calendar.schedule(due, lambda: self._inject(node, msg))
 
     def _complete_local(self, node: int, msg: CoherenceMessage) -> None:
+        engine = self._coherence
+        if engine is not None:
+            engine.complete_local(node, msg)
+            return
+        if PROFILER.enabled:
+            t0 = perf_counter()
+            self._dispatch(msg.dest, msg)
+            self._release_line(node, msg.line)
+            PROFILER.add("coherence", perf_counter() - t0)
+            return
         self._dispatch(msg.dest, msg)
         self._release_line(node, msg.line)
 
@@ -465,19 +513,21 @@ class CmpSystem:
             self._overflow_active.add(node)
 
     def _packetize(self, node: int, msg: CoherenceMessage) -> Packet:
+        # The packet-field booleans are precomputed per MsgType member
+        # (repro.coherence.messages) and the packet is built by the
+        # validation-free fast constructor: _packetize runs once per
+        # remote message on the hottest send path.
         mtype = msg.mtype
-        packet = Packet(
-            src=node,
-            dst=msg.dest,
-            lane=msg.lane,
-            payload=msg,
-            is_reply_to_request=mtype
-            in (MsgType.DATA_S, MsgType.DATA_E, MsgType.DATA_M, MsgType.MEM_ACK),
-            is_writeback=mtype is MsgType.WRITEBACK,
-            is_memory=mtype in _MEMORY_TYPES or mtype is MsgType.MEM_ACK,
-            expects_data_reply=mtype
-            in (MsgType.REQ_SH, MsgType.REQ_EX, MsgType.MEM_READ),
-            uid=next(self._packet_uid),
+        packet = make_packet(
+            node,
+            msg.dest,
+            mtype.lane,
+            msg,
+            mtype.pkt_is_reply,
+            mtype.pkt_is_writeback,
+            mtype.pkt_is_memory,
+            mtype.pkt_expects_data,
+            next(self._packet_uid),
         )
         if (
             self._is_fsoi
@@ -493,10 +543,28 @@ class CmpSystem:
                 dest=home,
                 requester=msg.requester,
             )
-            packet.on_confirmed = lambda: self.directories[home].handle(ack)
+            directory = self.directories[home]
+
+            def _confirm_ack() -> None:
+                if PROFILER.enabled:
+                    t0 = perf_counter()
+                    directory.handle(ack)
+                    PROFILER.add("coherence", perf_counter() - t0)
+                else:
+                    directory.handle(ack)
+
+            packet.on_confirmed = _confirm_ack
         return packet
 
     def _on_packet(self, packet: Packet) -> None:
+        if PROFILER.enabled:
+            t0 = perf_counter()
+            self._dispatch_packet(packet)
+            PROFILER.add("coherence", perf_counter() - t0)
+            return
+        self._dispatch_packet(packet)
+
+    def _dispatch_packet(self, packet: Packet) -> None:
         msg = packet.payload
         if (
             self._is_fsoi
@@ -609,12 +677,19 @@ class CmpSystem:
             TRACE.cycle = cycle
         if TIMELINE.enabled:
             TIMELINE.on_tick(self)
+        # Coherence dispatch runs *inside* the calendar window (local
+        # completions) and the network window (packet deliveries); the
+        # dispatch sites accrue against "coherence" and the enclosing
+        # windows subtract the delta, so handler cost is attributed to
+        # the protocol rather than lumped into transport.
         t0 = perf_counter()
+        coh0 = PROFILER.phase_seconds("coherence")
         due = self._due
         if due and due[0][0] <= cycle:
             self._calendar.run_due(cycle)  # due events
         t1 = perf_counter()
-        PROFILER.add("calendar", t1 - t0)
+        coh1 = PROFILER.phase_seconds("coherence")
+        PROFILER.add("calendar", (t1 - t0) - (coh1 - coh0))
         if self._overflow_active:
             self._drain_overflow(cycle)
         t2 = perf_counter()
@@ -625,7 +700,8 @@ class CmpSystem:
         PROFILER.add("memory", t3 - t2)
         self.network.tick(cycle)
         t4 = perf_counter()
-        PROFILER.add("network", t4 - t3)
+        coh2 = PROFILER.phase_seconds("coherence")
+        PROFILER.add("network", (t4 - t3) - (coh2 - coh1))
         self._core_phase(cycle)
         PROFILER.add("cores", perf_counter() - t4)
         PROFILER.cycle_done()
@@ -660,6 +736,10 @@ class CmpSystem:
             # A backed-up injection retries (and counts a refusal)
             # every cycle, exactly as the naive loop does.
             return cycle
+        if self._coherence is not None:
+            c = self._coherence.next_event(cycle)
+            if c is not None:  # pragma: no cover - drained within the tick
+                return cycle
         if self._vector is not None:
             c = self._vector.next_core_event(cycle)
             if c is not None:

@@ -60,9 +60,19 @@ class DirState(Enum):
     DM_DSA = auto()   # owner wrote back during downgrade; awaiting DwgAck
     DM_DMA = auto()   # owner wrote back during invalidate; awaiting InvAck
 
-    @property
-    def is_transient(self) -> bool:
-        return self not in (DirState.DI, DirState.DV, DirState.DS, DirState.DM)
+    # ``is_transient`` is a precomputed member attribute (filled in
+    # below): it gates every request and every queue drain, where a
+    # plain attribute load beats a property call plus a tuple scan.
+    # ``code`` is a dense integer for the columnar engine's state
+    # gathers (repro.coherence.vector).
+    is_transient: bool
+    code: int
+
+
+for _member in DirState:
+    _member.is_transient = _member.name not in ("DI", "DV", "DS", "DM")
+    _member.code = _member.value
+del _member
 
 
 @dataclass
@@ -81,7 +91,7 @@ class DirectoryConfig:
     capacity_lines: Optional[int] = None
 
 
-@dataclass
+@dataclass(slots=True)
 class _Entry:
     """Directory state for one line homed at this slice."""
 
@@ -124,6 +134,12 @@ class DirectoryController:
         self._warm: set[int] = set()
         self._queued_total = 0
         self._lru_clock = 0
+        #: Columnar-engine ledger hook (repro.coherence.vector): called
+        #: with the delta (+1 enqueue, -1 drain) whenever the "z" queue
+        #: population changes, so the engine's per-node queued column
+        #: stays write-through.  ``None`` (the default) keeps the
+        #: reference path cost at a single predicate check.
+        self.queue_ledger: Optional[Callable[[int], None]] = None
         stats = stats or StatGroup(f"dir.{node}")
         self.stats = stats
         self._count = {
@@ -484,12 +500,16 @@ class DirectoryController:
         self._count["queued"].add()
         entry.queued.append(msg)
         self._queued_total += 1
+        if self.queue_ledger is not None:
+            self.queue_ledger(1)
 
     def _drain(self, entry: _Entry, line: int) -> None:
         """Process queued requests while the line is stable."""
         while entry.queued and not entry.state.is_transient:
             msg = entry.queued.popleft()
             self._queued_total -= 1
+            if self.queue_ledger is not None:
+                self.queue_ledger(-1)
             self._handle_request(entry, msg)
 
     def _enforce_capacity(self, protect: int) -> None:

@@ -47,9 +47,19 @@ class L1State(Enum):
     I_MD = auto()  # I -> M, waiting for data
     S_MA = auto()  # S -> M, waiting for ack
 
-    @property
-    def is_transient(self) -> bool:
-        return self in (L1State.I_SD, L1State.I_MD, L1State.S_MA)
+    # ``is_transient`` is a precomputed member attribute (filled in
+    # below): it is tested on every CPU access and every directory-side
+    # event, where a plain attribute load beats a property call plus a
+    # tuple scan.  ``code`` is a dense integer for the columnar engine's
+    # state gathers (repro.coherence.vector).
+    is_transient: bool
+    code: int
+
+
+for _member in L1State:
+    _member.is_transient = _member.name in ("I_SD", "I_MD", "S_MA")
+    _member.code = _member.value
+del _member
 
 
 class AccessResult(Enum):
@@ -89,6 +99,13 @@ class L1Controller:
         self.config = config or L1Config()
         self.on_fill = on_fill or (lambda line: None)
         self._states: dict[int, L1State] = {}
+        #: Columnar-engine ledger hook (repro.coherence.vector): called
+        #: as ``ledger(old_state, new_state)`` from :meth:`_set_state` so
+        #: the engine's per-node transient-line column stays write-through
+        #: for the reference code paths its fused kernels do not cover.
+        #: ``None`` (the default) keeps the reference path cost at a
+        #: single predicate check.
+        self.ledger: Optional[Callable[[L1State, L1State], None]] = None
         self.array = CacheArray.from_geometry(
             self.config.capacity_bytes,
             self.config.line_bytes,
@@ -112,6 +129,8 @@ class L1Controller:
         return self._states.get(line, L1State.I)
 
     def _set_state(self, line: int, state: L1State) -> None:
+        if self.ledger is not None:
+            self.ledger(self._states.get(line, L1State.I), state)
         if state is L1State.I:
             self._states.pop(line, None)
         else:

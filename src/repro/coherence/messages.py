@@ -14,7 +14,7 @@ from enum import Enum, auto
 
 from repro.net.packet import LaneKind
 
-__all__ = ["MsgType", "CoherenceMessage"]
+__all__ = ["MsgType", "CoherenceMessage", "make_message"]
 
 _message_ids = itertools.count()
 
@@ -45,17 +45,19 @@ class MsgType(Enum):
     MEM_WRITE = auto()    # write line back to memory (carries data)
     MEM_ACK = auto()      # memory read completion (carries data)
 
-    @property
-    def carries_data(self) -> bool:
-        return self in _DATA_CARRYING
-
-    @property
-    def lane(self) -> LaneKind:
-        return LaneKind.DATA if self.carries_data else LaneKind.META
-
-    @property
-    def is_request(self) -> bool:
-        return self in (MsgType.REQ_SH, MsgType.REQ_EX, MsgType.REQ_UPG)
+    # ``carries_data`` / ``lane`` / ``is_request`` and the ``pkt_*``
+    # packetization flags are precomputed member attributes (filled in
+    # below) rather than properties: message classification runs once
+    # per send *and* per delivery on the dispatch hot path, where a
+    # plain attribute load beats a descriptor call plus frozenset
+    # membership test.
+    carries_data: bool
+    lane: LaneKind
+    is_request: bool
+    pkt_is_reply: bool
+    pkt_is_writeback: bool
+    pkt_is_memory: bool
+    pkt_expects_data: bool
 
 
 _DATA_CARRYING = frozenset(
@@ -71,8 +73,37 @@ _DATA_CARRYING = frozenset(
     }
 )
 
+for _member in MsgType:
+    _member.carries_data = _member in _DATA_CARRYING
+    _member.lane = LaneKind.DATA if _member.carries_data else LaneKind.META
+    _member.is_request = _member in (
+        MsgType.REQ_SH,
+        MsgType.REQ_EX,
+        MsgType.REQ_UPG,
+    )
+    # Packet-field classification (``CmpSystem._packetize``): which
+    # Packet booleans a message of this type sets when put on the wire.
+    _member.pkt_is_reply = _member in (
+        MsgType.DATA_S,
+        MsgType.DATA_E,
+        MsgType.DATA_M,
+        MsgType.MEM_ACK,
+    )
+    _member.pkt_is_writeback = _member is MsgType.WRITEBACK
+    _member.pkt_is_memory = _member in (
+        MsgType.MEM_READ,
+        MsgType.MEM_WRITE,
+        MsgType.MEM_ACK,
+    )
+    _member.pkt_expects_data = _member in (
+        MsgType.REQ_SH,
+        MsgType.REQ_EX,
+        MsgType.MEM_READ,
+    )
+del _member
 
-@dataclass
+
+@dataclass(slots=True)
 class CoherenceMessage:
     """One protocol message about one cache line.
 
@@ -104,3 +135,34 @@ class CoherenceMessage:
             f"Msg({self.mtype.name} line={self.line:#x} "
             f"{self.sender}->{self.dest} req={self.requester})"
         )
+
+
+_new_message = CoherenceMessage.__new__
+
+
+def make_message(
+    mtype: MsgType,
+    line: int,
+    sender: int,
+    dest: int,
+    requester: int,
+    ack_via_confirmation: bool = False,
+) -> CoherenceMessage:
+    """Hot-path constructor: direct slot writes, shared uid counter.
+
+    Bit-identical to calling the dataclass — the uid comes from the same
+    ``itertools.count`` — minus the ``__post_init__`` negative-line
+    check, which callers on the message fast path (the columnar
+    coherence engine, ``repro.coherence.vector``) satisfy by
+    construction: every line address they send is taken from a message
+    that was already validated on entry.
+    """
+    msg = _new_message(CoherenceMessage)
+    msg.mtype = mtype
+    msg.line = line
+    msg.sender = sender
+    msg.dest = dest
+    msg.requester = requester
+    msg.ack_via_confirmation = ack_via_confirmation
+    msg.uid = next(_message_ids)
+    return msg

@@ -95,8 +95,12 @@ class CoronaNetwork(Interconnect):
         return True
 
     def tick(self, cycle: int) -> None:
-        for packet in self._deliveries.pop(cycle, ()):  # arrival order
-            self._deliver(packet, cycle)
+        deliveries = self._deliveries.pop(cycle, None)
+        if deliveries is not None:
+            for packet in deliveries:  # arrival order
+                self._deliver(packet, cycle)
+            if self.post_delivery is not None:
+                self.post_delivery()  # drain the coherence mailbox
         for channel in self._channels:
             self._advance_token(channel, cycle)
 

@@ -64,7 +64,7 @@ class MemoryController:
     __slots__ = (
         "node", "send", "config", "_queue", "_busy_until", "stats",
         "reads", "writes", "queue_wait", "_arrival", "_occupancy",
-        "_reply_delay",
+        "_reply_delay", "ledger",
     )
 
     def __init__(
@@ -89,18 +89,26 @@ class MemoryController:
         # config-derived constants out of the per-transfer path.
         self._occupancy = self.config.occupancy_cycles
         self._reply_delay = self.config.latency + self._occupancy
+        #: Columnar-engine ledger hook (repro.coherence.vector): called
+        #: with the queue-depth delta (+1 enqueue, -1 transfer start) so
+        #: the engine's channel-backlog column stays write-through.
+        self.ledger = None
 
     def handle(self, msg: CoherenceMessage, cycle: int) -> None:
         if msg.mtype not in (MsgType.MEM_READ, MsgType.MEM_WRITE):
             raise ValueError(f"memory controller got {msg}")
         self._arrival[msg.uid] = cycle
         self._queue.append(msg)
+        if self.ledger is not None:
+            self.ledger(1)
 
     def tick(self, cycle: int) -> None:
         """Start the next transfer when the channel frees up."""
         if not self._queue or self._busy_until > cycle:
             return
         msg = self._queue.popleft()
+        if self.ledger is not None:
+            self.ledger(-1)
         self.queue_wait.record(cycle - self._arrival.pop(msg.uid))
         self._busy_until = cycle + self._occupancy
         if msg.mtype is MsgType.MEM_WRITE:

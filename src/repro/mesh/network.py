@@ -116,8 +116,12 @@ class MeshNetwork(Interconnect):
 
     def tick(self, cycle: int) -> None:
         # Ejections scheduled for this cycle.
-        for packet in self._deliveries.pop(cycle, ()):  # arrival order
-            self._deliver(packet, cycle)
+        deliveries = self._deliveries.pop(cycle, None)
+        if deliveries is not None:
+            for packet in deliveries:  # arrival order
+                self._deliver(packet, cycle)
+            if self.post_delivery is not None:
+                self.post_delivery()  # drain the coherence mailbox
         for node in range(self.num_nodes):
             self._inject(node, cycle)
         for router in self.routers:

@@ -352,6 +352,8 @@ class VectorMeshNetwork(MeshNetwork):
         if deliveries is not None:
             for packet in deliveries:  # arrival order
                 self._deliver(packet, cycle)
+            if self.post_delivery is not None:
+                self.post_delivery()  # drain the coherence mailbox
         if self._active_inject:
             # Ascending order replays the reference 0..N-1 sweep; nodes
             # not in the set have no queue and no in-progress packet, so

@@ -24,6 +24,7 @@ from typing import Any, Iterable
 __all__ = [
     "LaneKind",
     "Packet",
+    "make_packet",
     "FLIT_BITS",
     "META_PACKET_BITS",
     "DATA_PACKET_BITS",
@@ -56,7 +57,7 @@ class LaneKind(str, Enum):
         return 1 if self is LaneKind.META else 5
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
     """One network packet, as seen by any interconnect model.
 
@@ -96,6 +97,11 @@ class Packet:
     final_tx_cycle: int = -1
     deliver_cycle: int = -1
     retries: int = 0
+    #: Fault-layer markers (repro.faults); declared as fields so the
+    #: ``slots`` layout has somewhere to put them.
+    _corrupted: bool = field(default=False, repr=False, compare=False)
+    _fault_delivered: bool = field(default=False, repr=False, compare=False)
+    _fault_confirm_fired: bool = field(default=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.src == self.dst:
@@ -134,6 +140,50 @@ class Packet:
     @property
     def total_delay(self) -> int:
         return self.deliver_cycle - self.enqueue_cycle
+
+
+_new_packet = Packet.__new__
+
+
+def make_packet(
+    src: int,
+    dst: int,
+    lane: LaneKind,
+    payload: Any,
+    is_reply_to_request: bool,
+    is_writeback: bool,
+    is_memory: bool,
+    expects_data_reply: bool,
+    uid: int,
+) -> Packet:
+    """Hot-path constructor: direct slot writes, caller-supplied uid.
+
+    Bit-identical to calling the dataclass minus the ``__post_init__``
+    validation — the one caller (``CmpSystem._packetize``) only ever
+    packetizes remote messages between in-range nodes, so ``src != dst``
+    and both ids are non-negative by construction.
+    """
+    packet = _new_packet(Packet)
+    packet.src = src
+    packet.dst = dst
+    packet.lane = lane
+    packet.payload = payload
+    packet.is_reply_to_request = is_reply_to_request
+    packet.is_writeback = is_writeback
+    packet.is_memory = is_memory
+    packet.expects_data_reply = expects_data_reply
+    packet.on_confirmed = None
+    packet.uid = uid
+    packet.enqueue_cycle = -1
+    packet.scheduled_cycle = -1
+    packet.first_tx_cycle = -1
+    packet.final_tx_cycle = -1
+    packet.deliver_cycle = -1
+    packet.retries = 0
+    packet._corrupted = False
+    packet._fault_delivered = False
+    packet._fault_confirm_fired = False
+    return packet
 
 
 # -- PID / ~PID collision code ---------------------------------------------

@@ -68,6 +68,16 @@ class PhaseProfiler:
         """Freeze the total wall-clock window (called on disable)."""
         self._wall = time.perf_counter() - self._started
 
+    def phase_seconds(self, phase: str) -> float:
+        """Seconds accumulated so far against ``phase`` (0.0 if none).
+
+        The cycle loop uses this to *re-attribute* nested work: coherence
+        dispatch runs inside the calendar and network windows, accrues
+        against ``"coherence"`` at the dispatch site, and the enclosing
+        window subtracts the delta so no wall time is counted twice.
+        """
+        return self._seconds.get(phase, 0.0)
+
     # -- reporting -----------------------------------------------------
 
     @property

@@ -15,7 +15,7 @@ from typing import Callable, Optional
 __all__ = ["CacheArray"]
 
 
-@dataclass
+@dataclass(slots=True)
 class _Way:
     line: int
     last_use: int
@@ -88,24 +88,34 @@ class CacheArray:
         If the set is full of un-evictable lines, raises — callers must
         size MSHRs below associativity pressure or pre-check.
         """
-        self._clock += 1
-        target = self._set_of(line)
+        self._clock = clock = self._clock + 1
+        target = self._sets[line % self.num_sets]
         for way in target:
             if way.line == line:  # already resident (refill race)
-                way.last_use = self._clock
+                way.last_use = clock
                 return None
         if len(target) < self.ways:
-            target.append(_Way(line, self._clock))
+            target.append(_Way(line, clock))
             return None
-        candidates = [w for w in target if self.is_evictable(w.line)]
-        if not candidates:
+        # Pick the least-recently-used evictable way with a plain scan:
+        # sets are tiny (2 ways in Table 3's geometry), so a listcomp
+        # plus min(key=...) costs more than it saves.  last_use values
+        # are unique (the clock is monotone), so "first strictly
+        # smaller" picks the same way min() would.
+        is_evictable = self.is_evictable
+        victim = None
+        for way in target:
+            if is_evictable(way.line) and (
+                victim is None or way.last_use < victim.last_use
+            ):
+                victim = way
+        if victim is None:
             raise RuntimeError(
                 f"no evictable way in set {line % self.num_sets}; "
                 "too many transient lines in one set"
             )
-        victim = min(candidates, key=lambda w: w.last_use)
         target.remove(victim)
-        target.append(_Way(line, self._clock))
+        target.append(_Way(line, clock))
         self.evictions += 1
         return victim.line
 
